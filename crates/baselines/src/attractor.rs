@@ -1,0 +1,197 @@
+//! Attractor — community detection by distance dynamics (Shao et al., KDD
+//! 2015).
+//!
+//! Each edge carries a distance `d ∈ [0, 1]`, initialized from the Jaccard
+//! distance. Every iteration updates all edge distances through three
+//! interaction patterns — direct (DI), common-neighbor (CI) and
+//! exclusive-neighbor (EI) influence — and truncates to `[0, 1]`. Iteration
+//! stops when every distance has polarized to 0 or 1 (or after `max_iter`);
+//! clusters are the connected components over 0-distance edges.
+//!
+//! This is the algorithm whose iterated propagation motivates ANC's use of
+//! shortest distances (paper Section IV-B); the paper's footnote 1 notes its
+//! `O(d·n)`-per-iteration (quadratic worst-case) cost, which Exp 2
+//! reproduces.
+
+use anc_graph::{EdgeId, Graph, NodeId};
+use anc_metrics::Clustering;
+
+/// Attractor parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct AttractorParams {
+    /// Cohesion threshold λ for exclusive-neighbor influence (the reference
+    /// implementation's default is 0.5).
+    pub lambda: f64,
+    /// Iteration cap (the paper reports 3–50 iterations to converge).
+    pub max_iter: usize,
+}
+
+impl Default for AttractorParams {
+    fn default() -> Self {
+        Self { lambda: 0.5, max_iter: 50 }
+    }
+}
+
+/// Weighted Jaccard similarity over closed neighborhoods, used both for
+/// initialization and for the virtual similarity of non-adjacent pairs.
+fn jaccard(g: &Graph, weights: &[f64], wdeg: &[f64], u: NodeId, v: NodeId) -> f64 {
+    // Member x of Γ(u) carries weight w(u,x); u itself carries weight 1.
+    // inter = Σ_{x ∈ Γ(u)∩Γ(v)} min, union = Σ_{x ∈ Γ(u)∪Γ(v)} max
+    //       = (wdeg(u)+1) + (wdeg(v)+1) − inter.
+    let mut inter = 0.0;
+    g.for_common_neighbors(u, v, |_, e_ux, e_vx| {
+        inter += weights[e_ux as usize].min(weights[e_vx as usize]);
+    });
+    if let Some(e) = g.edge_id(u, v) {
+        // u ∈ Γ(u) with weight 1 and u ∈ Γ(v) with weight w(u,v); same for v.
+        inter += 2.0 * weights[e as usize].min(1.0);
+    }
+    let union = (wdeg[u as usize] + 1.0) + (wdeg[v as usize] + 1.0) - inter;
+    if union <= 0.0 {
+        0.0
+    } else {
+        (inter / union).clamp(0.0, 1.0)
+    }
+}
+
+/// Runs Attractor on edge weights `weights` (pass all-ones for the static
+/// unweighted case). Returns the clustering and the number of iterations
+/// actually performed.
+pub fn cluster(g: &Graph, weights: &[f64], params: &AttractorParams) -> (Clustering, usize) {
+    let m = g.m();
+    let mut wdeg = vec![0.0; g.n()];
+    for (e, u, v) in g.iter_edges() {
+        wdeg[u as usize] += weights[e as usize];
+        wdeg[v as usize] += weights[e as usize];
+    }
+
+    // d(e) = 1 − jaccard(u, v).
+    let mut d: Vec<f64> = g
+        .iter_edges()
+        .map(|(_, u, v)| 1.0 - jaccard(g, weights, &wdeg, u, v))
+        .collect();
+
+    let sin1 = |x: f64| (1.0 - x).sin();
+    let mut iterations = 0usize;
+    for _ in 0..params.max_iter {
+        iterations += 1;
+        let mut delta = vec![0.0f64; m];
+        for (e, u, v) in g.iter_edges() {
+            if d[e as usize] <= 0.0 || d[e as usize] >= 1.0 {
+                continue; // polarized edges stop interacting
+            }
+            let (du, dv) = (g.degree(u) as f64, g.degree(v) as f64);
+            // DI: the endpoints attract each other directly.
+            let mut dd = -(sin1(d[e as usize]) / du + sin1(d[e as usize]) / dv);
+            // CI and EI via one merged scan over both neighborhoods.
+            g.for_common_neighbors(u, v, |_, e_ux, e_vx| {
+                let dxu = d[e_ux as usize];
+                let dxv = d[e_vx as usize];
+                dd -= sin1(dxu) * (1.0 - dxv) / du + sin1(dxv) * (1.0 - dxu) / dv;
+            });
+            // Exclusive neighbors of u (not adjacent to v) and of v.
+            for (x, e_ux) in g.edges_of(u) {
+                if x == v || g.has_edge(x, v) {
+                    continue;
+                }
+                let rho = jaccard(g, weights, &wdeg, x, v) - params.lambda;
+                dd -= sin1(d[e_ux as usize]) * rho / du;
+            }
+            for (x, e_vx) in g.edges_of(v) {
+                if x == u || g.has_edge(x, u) {
+                    continue;
+                }
+                let rho = jaccard(g, weights, &wdeg, x, u) - params.lambda;
+                dd -= sin1(d[e_vx as usize]) * rho / dv;
+            }
+            delta[e as usize] = dd;
+        }
+        let mut changed = false;
+        for e in 0..m {
+            if delta[e] != 0.0 {
+                let nd = (d[e] + delta[e]).clamp(0.0, 1.0);
+                if nd != d[e] {
+                    d[e] = nd;
+                    changed = true;
+                }
+            }
+        }
+        let polarized = d.iter().all(|&x| x <= 0.0 || x >= 1.0);
+        if polarized || !changed {
+            break;
+        }
+    }
+
+    // Components over attracted (d < 1, effectively d → 0) edges. Following
+    // the reference implementation, any non-repulsed edge links its
+    // endpoints.
+    let keep: Vec<bool> = d.iter().map(|&x| x < 0.5).collect();
+    let comps =
+        anc_graph::traverse::connected_components_filtered(g, |_, _, e: EdgeId| keep[e as usize]);
+    (Clustering::from_labels(&comps.label), iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anc_graph::gen::connected_caveman;
+    use anc_graph::Graph;
+
+    #[test]
+    fn recovers_caveman_cliques() {
+        let lg = connected_caveman(4, 6);
+        let w = vec![1.0; lg.graph.m()];
+        let (c, iters) = cluster(&lg.graph, &w, &AttractorParams::default());
+        assert!(iters <= 50);
+        let truth = Clustering::from_labels(&lg.labels);
+        let score = anc_metrics::nmi(&c, &truth);
+        assert!(score > 0.9, "Attractor should nail cliques, NMI = {score}");
+    }
+
+    #[test]
+    fn triangle_attracts_bridge_repels() {
+        // Two triangles with a bridge: the bridge has no common neighbors →
+        // starts far and drifts to 1; triangle edges drift to 0.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
+        let w = vec![1.0; g.m()];
+        let (c, _) = cluster(&g, &w, &AttractorParams::default());
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.label(0), c.label(2));
+        assert_eq!(c.label(3), c.label(5));
+        assert_ne!(c.label(0), c.label(3));
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let lg = connected_caveman(3, 5);
+        let w = vec![1.0; lg.graph.m()];
+        let (_, iters) = cluster(&lg.graph, &w, &AttractorParams { lambda: 0.5, max_iter: 2 });
+        assert!(iters <= 2);
+    }
+
+    #[test]
+    fn weighted_input_shifts_result() {
+        // Cross-clique edge with huge weight pulls the cliques together.
+        let lg = connected_caveman(2, 4);
+        let g = &lg.graph;
+        let mut w = vec![1.0; g.m()];
+        let bridge = g
+            .iter_edges()
+            .find(|&(_, u, v)| lg.labels[u as usize] != lg.labels[v as usize])
+            .map(|(e, _, _)| e)
+            .unwrap();
+        let (before, _) = cluster(g, &w, &AttractorParams::default());
+        w[bridge as usize] = 50.0;
+        let (after, _) = cluster(g, &w, &AttractorParams::default());
+        assert!(after.num_clusters() <= before.num_clusters());
+    }
+
+    #[test]
+    fn singleton_components_are_clusters() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let w = vec![1.0; g.m()];
+        let (c, _) = cluster(&g, &w, &AttractorParams::default());
+        // Node 2 is isolated → its own cluster (component).
+        assert!(c.num_clusters() >= 2);
+    }
+}

@@ -1,0 +1,272 @@
+//! Normalized spectral clustering (Ng, Jordan, Weiss — NIPS 2001), the
+//! paper's ground-truth oracle on activation snapshots (Section VI-A:
+//! "On activation graphs with varying S_t, we use Spectral Clustering to
+//! obtain the clusters as ground truth").
+//!
+//! Pipeline: top-`k` eigenvectors of the normalized adjacency
+//! `D^{-1/2} W D^{-1/2}` via orthogonal (subspace) iteration, row
+//! normalization, then k-means with k-means++ seeding. Deterministic in the
+//! seed; dense in `n × k`, so intended for the paper's small activation
+//! graphs (≤ ~10k nodes).
+
+use anc_graph::Graph;
+use anc_metrics::Clustering;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Spectral clustering parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SpectralParams {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Orthogonal-iteration rounds (eigenvector refinement).
+    pub power_iters: usize,
+    /// Lloyd iterations for k-means.
+    pub kmeans_iters: usize,
+}
+
+impl Default for SpectralParams {
+    fn default() -> Self {
+        Self { k: 8, power_iters: 30, kmeans_iters: 25 }
+    }
+}
+
+/// Runs spectral clustering over edge weights `weights`.
+pub fn cluster(g: &Graph, weights: &[f64], params: &SpectralParams, seed: u64) -> Clustering {
+    let n = g.n();
+    let k = params.k.max(1).min(n.max(1));
+    if n == 0 {
+        return Clustering::from_labels(&[]);
+    }
+    // D^{-1/2} with a small ridge so isolated nodes don't blow up.
+    let mut wdeg = vec![1e-9f64; n];
+    for (e, u, v) in g.iter_edges() {
+        wdeg[u as usize] += weights[e as usize];
+        wdeg[v as usize] += weights[e as usize];
+    }
+    let dinv_sqrt: Vec<f64> = wdeg.iter().map(|d| 1.0 / d.sqrt()).collect();
+
+    // Orthogonal iteration on M = D^{-1/2} W D^{-1/2} (+ small self-loop to
+    // break bipartite oscillation), starting from a random orthonormal basis.
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut basis: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    orthonormalize(&mut basis);
+    let matvec = |x: &[f64], out: &mut [f64]| {
+        for (o, xi) in out.iter_mut().zip(x) {
+            *o = 0.5 * *xi; // lazy walk self-loop
+        }
+        for (e, u, v) in g.iter_edges() {
+            let w = 0.5 * weights[e as usize];
+            out[u as usize] += w * dinv_sqrt[u as usize] * dinv_sqrt[v as usize] * x[v as usize];
+            out[v as usize] += w * dinv_sqrt[u as usize] * dinv_sqrt[v as usize] * x[u as usize];
+        }
+    };
+    let mut tmp = vec![0.0f64; n];
+    for _ in 0..params.power_iters {
+        for b in basis.iter_mut() {
+            matvec(b, &mut tmp);
+            std::mem::swap(b, &mut tmp);
+        }
+        orthonormalize(&mut basis);
+    }
+
+    // Embedding rows (n × k), row-normalized.
+    let mut rows = vec![vec![0.0f64; k]; n];
+    for (j, b) in basis.iter().enumerate() {
+        for i in 0..n {
+            rows[i][j] = b[i];
+        }
+    }
+    for r in &mut rows {
+        let norm = r.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 1e-12 {
+            for x in r.iter_mut() {
+                *x /= norm;
+            }
+        }
+    }
+
+    let labels = kmeans(&rows, k, params.kmeans_iters, &mut rng);
+    Clustering::from_labels(&labels)
+}
+
+/// Gram–Schmidt orthonormalization in place.
+fn orthonormalize(basis: &mut [Vec<f64>]) {
+    let k = basis.len();
+    for i in 0..k {
+        for j in 0..i {
+            let dot: f64 = basis[i].iter().zip(&basis[j]).map(|(a, b)| a * b).sum();
+            let bj = basis[j].clone();
+            for (a, b) in basis[i].iter_mut().zip(&bj) {
+                *a -= dot * b;
+            }
+        }
+        let norm: f64 = basis[i].iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 1e-12 {
+            for x in basis[i].iter_mut() {
+                *x /= norm;
+            }
+        }
+    }
+}
+
+/// k-means with k-means++ seeding; returns a label per row.
+fn kmeans(rows: &[Vec<f64>], k: usize, iters: usize, rng: &mut ChaCha8Rng) -> Vec<u32> {
+    let n = rows.len();
+    if n == 0 {
+        return vec![];
+    }
+    let dim = rows[0].len();
+    let d2 = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    };
+
+    // k-means++ seeding.
+    let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centers.push(rows[rng.gen_range(0..n)].clone());
+    let mut best_d: Vec<f64> = rows.iter().map(|r| d2(r, &centers[0])).collect();
+    while centers.len() < k {
+        let total: f64 = best_d.iter().sum();
+        let idx = if total <= 1e-18 {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut pick = n - 1;
+            for (i, &d) in best_d.iter().enumerate() {
+                if target < d {
+                    pick = i;
+                    break;
+                }
+                target -= d;
+            }
+            pick
+        };
+        centers.push(rows[idx].clone());
+        for (i, r) in rows.iter().enumerate() {
+            let d = d2(r, centers.last().unwrap());
+            if d < best_d[i] {
+                best_d[i] = d;
+            }
+        }
+    }
+
+    // Lloyd iterations.
+    let mut labels = vec![0u32; n];
+    for _ in 0..iters {
+        let mut moved = false;
+        for (i, r) in rows.iter().enumerate() {
+            let mut best = (0usize, f64::INFINITY);
+            for (c, center) in centers.iter().enumerate() {
+                let d = d2(r, center);
+                if d < best.1 {
+                    best = (c, d);
+                }
+            }
+            if labels[i] != best.0 as u32 {
+                labels[i] = best.0 as u32;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, r) in rows.iter().enumerate() {
+            let c = labels[i] as usize;
+            counts[c] += 1;
+            for (s, x) in sums[c].iter_mut().zip(r) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in sums[c].iter_mut() {
+                    *s /= counts[c] as f64;
+                }
+                centers[c] = sums[c].clone();
+            }
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anc_graph::gen::{connected_caveman, planted_partition, PlantedConfig};
+
+    #[test]
+    fn recovers_caveman_cliques() {
+        let lg = connected_caveman(4, 8);
+        let w = vec![1.0; lg.graph.m()];
+        let c = cluster(
+            &lg.graph,
+            &w,
+            &SpectralParams { k: 4, ..Default::default() },
+            7,
+        );
+        let truth = Clustering::from_labels(&lg.labels);
+        let score = anc_metrics::nmi(&c, &truth);
+        assert!(score > 0.9, "spectral should nail cliques, NMI = {score}");
+    }
+
+    #[test]
+    fn recovers_planted_partition() {
+        let cfg = PlantedConfig {
+            n: 240,
+            communities: 4,
+            avg_intra_degree: 12.0,
+            mixing: 0.08,
+            size_exponent: 0.0,
+        };
+        let lg = planted_partition(&cfg, 3);
+        let w = vec![1.0; lg.graph.m()];
+        let c = cluster(&lg.graph, &w, &SpectralParams { k: 4, ..Default::default() }, 9);
+        let truth = Clustering::from_labels(&lg.labels);
+        let score = anc_metrics::nmi(&c, &truth);
+        assert!(score > 0.7, "planted NMI = {score}");
+    }
+
+    #[test]
+    fn respects_edge_weights() {
+        // 2 cliques; zero out one clique's internal weights and boost the
+        // bridge — the embedding should no longer separate them cleanly.
+        let lg = connected_caveman(2, 5);
+        let g = &lg.graph;
+        let uniform = vec![1.0; g.m()];
+        let c_clean = cluster(g, &uniform, &SpectralParams { k: 2, ..Default::default() }, 4);
+        let truth = Clustering::from_labels(&lg.labels);
+        let clean_score = anc_metrics::nmi(&c_clean, &truth);
+        assert!(clean_score > 0.9);
+        let hot_bridge: Vec<f64> = g
+            .iter_edges()
+            .map(|(_, u, v)| if lg.labels[u as usize] != lg.labels[v as usize] { 30.0 } else { 0.1 })
+            .collect();
+        let c_hot = cluster(g, &hot_bridge, &SpectralParams { k: 2, ..Default::default() }, 4);
+        let hot_score = anc_metrics::nmi(&c_hot, &truth);
+        assert!(hot_score < clean_score, "weights must matter: {hot_score} vs {clean_score}");
+    }
+
+    #[test]
+    fn k_one_and_k_ge_n() {
+        let lg = connected_caveman(2, 3);
+        let w = vec![1.0; lg.graph.m()];
+        let c1 = cluster(&lg.graph, &w, &SpectralParams { k: 1, ..Default::default() }, 2);
+        assert_eq!(c1.num_clusters(), 1);
+        let cn = cluster(&lg.graph, &w, &SpectralParams { k: 100, ..Default::default() }, 2);
+        assert!(cn.num_clusters() <= lg.graph.n());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let lg = connected_caveman(3, 4);
+        let w = vec![1.0; lg.graph.m()];
+        let p = SpectralParams { k: 3, ..Default::default() };
+        let a = cluster(&lg.graph, &w, &p, 11);
+        let b = cluster(&lg.graph, &w, &p, 11);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks for the baseline methods (Table III/IV
+//! companion): one full offline run each, plus per-step costs of the online
+//! baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use anc_baselines::{attractor, dyna::DynaEngine, louvain, lwep::LwepEngine, scan, spectral};
+use anc_graph::gen::{planted_partition, PlantedConfig};
+
+fn bench_offline(c: &mut Criterion) {
+    let lg = planted_partition(&PlantedConfig::default_for(1000), 13);
+    let g = &lg.graph;
+    let w = vec![1.0f64; g.m()];
+    let mut group = c.benchmark_group("baselines_offline");
+    group.sample_size(10);
+
+    group.bench_function("scan", |b| {
+        b.iter(|| black_box(scan::cluster(g, &scan::ScanParams::default())))
+    });
+    group.bench_function("louvain", |b| {
+        b.iter(|| black_box(louvain::cluster(g, &w, &louvain::LouvainParams::default())))
+    });
+    group.bench_function("attractor_5iter", |b| {
+        b.iter(|| {
+            black_box(attractor::cluster(
+                g,
+                &w,
+                &attractor::AttractorParams { lambda: 0.5, max_iter: 5 },
+            ))
+        })
+    });
+    group.bench_function("spectral_k16", |b| {
+        b.iter(|| {
+            black_box(spectral::cluster(
+                g,
+                &w,
+                &spectral::SpectralParams { k: 16, power_iters: 10, kmeans_iters: 10 },
+                5,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_online(c: &mut Criterion) {
+    let lg = planted_partition(&PlantedConfig::default_for(1000), 17);
+    let g = lg.graph.clone();
+    let mut group = c.benchmark_group("baselines_online_step");
+    group.sample_size(10);
+
+    group.bench_function("dyna_step", |b| {
+        let mut engine = DynaEngine::new(g.clone(), vec![1.0; g.m()], 0.1);
+        let mut t = 1.0;
+        let mut e = 0u32;
+        b.iter(|| {
+            t += 0.01;
+            e = (e + 31) % g.m() as u32;
+            engine.step(t, &[e]);
+        })
+    });
+    group.bench_function("lwep_step", |b| {
+        let mut engine = LwepEngine::new(g.clone(), vec![1.0; g.m()], 0.1);
+        let mut t = 1.0;
+        let mut e = 0u32;
+        b.iter(|| {
+            t += 0.01;
+            e = (e + 31) % g.m() as u32;
+            engine.step(t, &[e]);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_offline, bench_online);
+criterion_main!(benches);

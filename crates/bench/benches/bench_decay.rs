@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks for the decay layer (Lemma 1 / Ablation A4
+//! companion): per-activation anchored maintenance vs the naive Eq. 1
+//! evaluation, and the batched-rescale sweep cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use anc_decay::{ActivenessStore, DecayClock, RawActivations, Rescalable};
+
+fn bench_decay(c: &mut Criterion) {
+    let m = 100_000usize;
+    let mut group = c.benchmark_group("decay");
+
+    group.bench_function("anchored_activate", |b| {
+        let mut clock = DecayClock::new(0.1);
+        let mut store = ActivenessStore::new(m, 1.0);
+        let mut t = 0.0;
+        let mut e = 0u32;
+        b.iter(|| {
+            t += 0.001;
+            e = (e + 7919) % m as u32;
+            clock.advance_to(t);
+            store.activate(e, &clock);
+        })
+    });
+
+    group.bench_function("anchored_read", |b| {
+        let mut clock = DecayClock::new(0.1);
+        let store = ActivenessStore::new(m, 1.0);
+        clock.advance_to(10.0);
+        let mut e = 0u32;
+        b.iter(|| {
+            e = (e + 7919) % m as u32;
+            black_box(store.current(e, &clock))
+        })
+    });
+
+    group.bench_function("raw_eq1_read_100_activations", |b| {
+        let mut raw = RawActivations::new(1, 0.1);
+        for i in 0..100 {
+            raw.activate(0, i as f64 * 0.1);
+        }
+        b.iter(|| black_box(raw.activeness_at(0, 50.0)))
+    });
+
+    group.bench_function("batched_rescale_100k_edges", |b| {
+        let mut clock = DecayClock::new(0.1);
+        let mut store = ActivenessStore::new(m, 1.0);
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 1.0;
+            clock.advance_to(t);
+            let g = clock.take_rescale();
+            store.rescale(g);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decay);
+criterion_main!(benches);

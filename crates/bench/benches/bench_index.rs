@@ -1,0 +1,32 @@
+//! Criterion micro-benchmarks for index construction (Exp 3/4 companion):
+//! pyramids build time scaling in k and in graph size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use anc_core::Pyramids;
+use anc_graph::gen::{planted_partition, PlantedConfig};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pyramids_build");
+    group.sample_size(10);
+    for &n in &[1000usize, 4000] {
+        let lg = planted_partition(&PlantedConfig::default_for(n), 7);
+        let w = vec![1.0f64; lg.graph.m()];
+        for &k in &[2usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), format!("k{k}")),
+                &k,
+                |b, &k| {
+                    b.iter(|| {
+                        black_box(Pyramids::build(&lg.graph, &w, k, 0.7, 42));
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks for cluster extraction and local queries
+//! (Exp 5 / Figure 7 companion): global even/power clustering per level,
+//! and local-cluster queries whose cost tracks the result size (Lemma 9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use anc_core::{cluster, query, ClusterMode, Pyramids};
+use anc_graph::gen::{planted_partition, PlantedConfig};
+
+fn fixture() -> (anc_graph::Graph, Pyramids) {
+    let lg = planted_partition(&PlantedConfig::default_for(4000), 11);
+    // Weight by community structure so voting has signal.
+    let w: Vec<f64> = lg
+        .graph
+        .iter_edges()
+        .map(|(_, u, v)| if lg.labels[u as usize] == lg.labels[v as usize] { 0.3 } else { 10.0 })
+        .collect();
+    let pyr = Pyramids::build(&lg.graph, &w, 4, 0.7, 3);
+    (lg.graph, pyr)
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let (g, pyr) = fixture();
+    let mut group = c.benchmark_group("cluster_extraction");
+    group.sample_size(10);
+    for level in [4usize, 6, 8] {
+        let level = level.min(pyr.num_levels() - 1);
+        group.bench_with_input(BenchmarkId::new("even", level), &level, |b, &l| {
+            b.iter(|| black_box(cluster::cluster_all(&g, &pyr, l, ClusterMode::Even)))
+        });
+        group.bench_with_input(BenchmarkId::new("power", level), &level, |b, &l| {
+            b.iter(|| black_box(cluster::cluster_all(&g, &pyr, l, ClusterMode::Power)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_local_query(c: &mut Criterion) {
+    let (g, pyr) = fixture();
+    let mut group = c.benchmark_group("local_query");
+    group.sample_size(20);
+    let level = pyr.default_level();
+    group.bench_function("local_cluster", |b| {
+        let mut v = 0u32;
+        b.iter(|| {
+            v = (v + 37) % g.n() as u32;
+            black_box(query::local_cluster(&g, &pyr, v, level))
+        })
+    });
+    group.bench_function("local_cluster_power", |b| {
+        let mut v = 0u32;
+        b.iter(|| {
+            v = (v + 37) % g.n() as u32;
+            black_box(query::local_cluster_power(&g, &pyr, v, level))
+        })
+    });
+    group.bench_function("smallest_cluster", |b| {
+        let mut v = 0u32;
+        b.iter(|| {
+            v = (v + 37) % g.n() as u32;
+            black_box(query::smallest_cluster(&g, &pyr, v))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction, bench_local_query);
+criterion_main!(benches);

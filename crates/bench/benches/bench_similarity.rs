@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks for the similarity layer (Lemma 5
+//! companion): σ evaluation, whole-neighborhood σ, node classification and
+//! one local-reinforcement application.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use anc_core::reinforce::{apply_reinforcement, ReinforceParams};
+use anc_core::similarity::{Scratch, SimilarityCtx};
+use anc_graph::gen::{planted_partition, PlantedConfig};
+
+fn bench_similarity(c: &mut Criterion) {
+    let lg = planted_partition(&PlantedConfig::default_for(2000), 3);
+    let g = &lg.graph;
+    let act = vec![1.0f64; g.m()];
+    let mut node_sum = vec![0.0f64; g.n()];
+    for (e, u, v) in g.iter_edges() {
+        node_sum[u as usize] += act[e as usize];
+        node_sum[v as usize] += act[e as usize];
+    }
+    let ctx = SimilarityCtx { g, act: &act, node_sum: &node_sum };
+    let mut scratch = Scratch::new(g.n());
+    let mut group = c.benchmark_group("similarity");
+
+    group.bench_function("sigma_edge", |b| {
+        let mut e = 0u32;
+        b.iter(|| {
+            e = (e + 97) % g.m() as u32;
+            let (u, v) = g.endpoints(e);
+            black_box(ctx.sigma(u, v))
+        })
+    });
+
+    group.bench_function("sigma_all_node", |b| {
+        let mut v = 0u32;
+        b.iter(|| {
+            v = (v + 61) % g.n() as u32;
+            ctx.sigma_all(v, &mut scratch);
+            black_box(scratch.sigmas.len())
+        })
+    });
+
+    group.bench_function("node_type", |b| {
+        let mut v = 0u32;
+        b.iter(|| {
+            v = (v + 61) % g.n() as u32;
+            black_box(ctx.node_type(v, 0.3, 3, &mut scratch))
+        })
+    });
+
+    group.bench_function("apply_reinforcement", |b| {
+        let params = ReinforceParams { epsilon: 0.3, mu: 3, floor_anchored: 1e-9 };
+        let mut sim = vec![1.0f64; g.m()];
+        let mut e = 0u32;
+        b.iter(|| {
+            e = (e + 97) % g.m() as u32;
+            black_box(apply_reinforcement(&ctx, &mut sim, e, &params, &mut scratch))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_similarity);
+criterion_main!(benches);

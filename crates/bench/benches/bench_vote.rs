@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks for incremental vote maintenance (the paper's
+//! Section V-C Remarks): cache build, per-update repair, and monitored
+//! activation overhead vs the bare engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use anc_core::{AncConfig, AncEngine, ClusterMonitor, VoteCache};
+use anc_graph::gen::{planted_partition, PlantedConfig};
+
+fn bench_vote(c: &mut Criterion) {
+    let lg = planted_partition(&PlantedConfig::default_for(2000), 3);
+    let cfg = AncConfig { rep: 1, ..Default::default() };
+    let mut group = c.benchmark_group("vote_maintenance");
+    group.sample_size(10);
+
+    group.bench_function("cache_build", |b| {
+        let engine = AncEngine::new(lg.graph.clone(), cfg.clone(), 1);
+        b.iter(|| black_box(VoteCache::build(engine.graph(), engine.pyramids())))
+    });
+
+    group.bench_function("activate_bare", |b| {
+        let mut engine = AncEngine::new(lg.graph.clone(), cfg.clone(), 1);
+        let m = engine.graph().m() as u32;
+        let (mut e, mut t) = (0u32, 1.0);
+        b.iter(|| {
+            e = (e + 101) % m;
+            t += 0.01;
+            engine.activate(e, t);
+        })
+    });
+
+    group.bench_function("activate_monitored", |b| {
+        let mut engine = AncEngine::new(lg.graph.clone(), cfg.clone(), 1);
+        let g = engine.graph().clone();
+        let level = engine.default_level();
+        let mut monitor = ClusterMonitor::new(&g, engine.pyramids(), &[0, 1, 2, 3], level);
+        let m = g.m() as u32;
+        let (mut e, mut t) = (0u32, 1.0);
+        b.iter(|| {
+            e = (e + 101) % m;
+            t += 0.01;
+            let trace = engine.activate_traced(e, t);
+            if !trace.is_empty() {
+                black_box(monitor.apply_update(&g, engine.pyramids(), e, &trace));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vote);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Minimal CLI argument parsing shared by the experiment binaries
+//! (`--scale <f64>`, `--seed <u64>`, `--datasets A,B,C`, plus free-form
+//! flags), avoiding an external dependency.
+
+/// Parsed harness arguments.
+#[derive(Clone, Debug)]
+pub struct HarnessArgs {
+    /// Dataset size multiplier (default depends on the experiment).
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Explicit dataset list (names from the registry); empty = default.
+    pub datasets: Vec<String>,
+    /// Remaining boolean flags (e.g. `--full`, `--quality`).
+    pub flags: Vec<String>,
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args` with the given default scale.
+    pub fn parse(default_scale: f64) -> Self {
+        Self::from_iter(std::env::args().skip(1), default_scale)
+    }
+
+    /// Parses an explicit iterator (testable).
+    pub fn from_iter<I: IntoIterator<Item = String>>(args: I, default_scale: f64) -> Self {
+        let mut out = Self {
+            scale: default_scale,
+            seed: 42,
+            datasets: Vec::new(),
+            flags: Vec::new(),
+        };
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => {
+                    out.scale = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--scale needs a float"));
+                }
+                "--seed" => {
+                    out.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--seed needs a u64"));
+                }
+                "--datasets" => {
+                    let list = it.next().unwrap_or_default();
+                    out.datasets = list.split(',').map(|s| s.trim().to_string()).collect();
+                }
+                flag if flag.starts_with("--") => {
+                    out.flags.push(flag.trim_start_matches("--").to_string())
+                }
+                other => panic!("unrecognized argument: {other}"),
+            }
+        }
+        out
+    }
+
+    /// Whether a boolean flag was passed.
+    pub fn has(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let a = HarnessArgs::from_iter(Vec::<String>::new(), 0.5);
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.seed, 42);
+        assert!(a.datasets.is_empty());
+    }
+
+    #[test]
+    fn full_parse() {
+        let a = HarnessArgs::from_iter(
+            ["--scale", "0.1", "--seed", "7", "--datasets", "CO,FB", "--quality"]
+                .into_iter()
+                .map(String::from),
+            1.0,
+        );
+        assert_eq!(a.scale, 0.1);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.datasets, vec!["CO", "FB"]);
+        assert!(a.has("quality"));
+        assert!(!a.has("full"));
+    }
+}

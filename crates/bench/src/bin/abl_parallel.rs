@@ -1,0 +1,62 @@
+//! **Ablation A5 / Lemma 13** — parallel vs serial partition repair.
+//!
+//! The `k·⌈log₂ n⌉` Voronoi partitions are mutually independent, so one
+//! edge-weight change can repair them in parallel. This ablation measures
+//! when that pays: per-activation repairs touch tiny regions (fork/join
+//! overhead dominates), while large-swing updates on big graphs amortize
+//! the overhead.
+//!
+//! Usage: `cargo run --release -p anc-bench --bin abl_parallel [--scale f]`
+
+use anc_bench::args::HarnessArgs;
+use anc_bench::report::{secs, write_json, Table};
+use anc_bench::time;
+use anc_core::{AncConfig, AncEngine};
+use anc_data::{registry, stream};
+
+fn main() {
+    let args = HarnessArgs::parse(0.5);
+    let mut table = Table::new(vec!["dataset", "k", "mode", "sec/activation"]);
+    let mut json = Vec::new();
+    for name in ["CA", "CM"] {
+        let ds = registry::by_name(name).unwrap().materialize_scaled(args.seed, args.scale);
+        let g = ds.graph.clone();
+        let s = stream::uniform_per_step(&g, 10, 0.05, args.seed ^ 0x11);
+        let acts = s.total_activations();
+        for k in [4usize, 16] {
+            for parallel in [false, true] {
+                let cfg = AncConfig {
+                    k,
+                    rep: 1,
+                    parallel_updates: parallel,
+                    ..Default::default()
+                };
+                let mut engine = AncEngine::new(g.clone(), cfg, args.seed);
+                let (_, total) = time(|| {
+                    for batch in &s.batches {
+                        engine.activate_batch(&batch.edges, batch.time);
+                    }
+                });
+                let per_act = total / acts as f64;
+                eprintln!(
+                    "[ablA5] {name} k={k} {}: {per_act:.2e} s/act",
+                    if parallel { "parallel" } else { "serial" }
+                );
+                table.row(vec![
+                    name.to_string(),
+                    k.to_string(),
+                    if parallel { "parallel" } else { "serial" }.to_string(),
+                    secs(per_act),
+                ]);
+                json.push(serde_json::json!({
+                    "dataset": name, "k": k, "parallel": parallel, "sec_per_activation": per_act,
+                }));
+            }
+        }
+    }
+
+    println!("\n=== Ablation A5: parallel vs serial index repair (Lemma 13) ===");
+    table.print();
+    let path = write_json("abl_parallel", &serde_json::json!(json)).unwrap();
+    println!("\n[ablA5] JSON written to {}", path.display());
+}

@@ -1,0 +1,60 @@
+//! **Exp 3 / Figure 5** — index construction time vs number of pyramids.
+//!
+//! Builds the pyramids index with k ∈ {2, 4, 8, 16} over the dataset ladder
+//! and reports wall-clock seconds per build.
+//!
+//! Expected shape (paper): time grows linearly with k; denser graphs (MI,
+//! OK stand-ins) cost more than equally-sized sparser ones, following the
+//! `O(n log² n + m log n)` bound of Lemma 7.
+//!
+//! Usage: `cargo run --release -p anc-bench --bin exp3_index_time
+//! [--datasets CA,MI,...] [--scale f] [--seed s]`
+
+use anc_bench::args::HarnessArgs;
+use anc_bench::report::{write_json, Table};
+use anc_bench::time;
+use anc_core::Pyramids;
+use anc_data::registry;
+
+fn main() {
+    let args = HarnessArgs::parse(1.0);
+    let names: Vec<String> = if args.datasets.is_empty() {
+        ["CA", "MI", "LA", "CM", "IE", "GI", "EA", "DB"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        args.datasets.clone()
+    };
+    let ks = [2usize, 4, 8, 16];
+
+    let mut table = Table::new({
+        let mut h = vec!["dataset".to_string(), "n".to_string(), "m".to_string()];
+        h.extend(ks.iter().map(|k| format!("k={k}")));
+        h
+    });
+    let mut json = Vec::new();
+
+    for name in &names {
+        let spec = registry::by_name(name).unwrap_or_else(|| panic!("unknown dataset {name}"));
+        let ds = spec.materialize_scaled(args.seed, args.scale);
+        let g = &ds.graph;
+        let w = vec![1.0f64; g.m()];
+        let mut row = vec![name.clone(), g.n().to_string(), g.m().to_string()];
+        for &k in &ks {
+            let (pyr, secs) = time(|| Pyramids::build(g, &w, k, 0.7, args.seed));
+            drop(pyr);
+            eprintln!("[exp3] {name} k={k}: {secs:.3}s");
+            row.push(format!("{secs:.3}"));
+            json.push(serde_json::json!({
+                "dataset": name, "n": g.n(), "m": g.m(), "k": k, "seconds": secs,
+            }));
+        }
+        table.row(row);
+    }
+
+    println!("\n=== Figure 5: Index Time (seconds) ===");
+    table.print();
+    let path = write_json("exp3_index_time", &serde_json::json!(json)).unwrap();
+    println!("\n[exp3] JSON written to {}", path.display());
+}

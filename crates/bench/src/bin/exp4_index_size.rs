@@ -1,0 +1,68 @@
+//! **Exp 4 / Figure 6** — index memory vs number of pyramids.
+//!
+//! Deep-byte accounting of the pyramids index for k ∈ {2, 4, 8, 16}
+//! (graph storage excluded, matching the paper's convention), plus the
+//! dataset-size/index-size ratio the paper reports (average 0.53 on graphs
+//! with > 1M edges).
+//!
+//! Expected shape (paper): memory linear in k and driven by the vertex
+//! count (`O(n log² n)`, Lemma 7), largely independent of m.
+//!
+//! Usage: `cargo run --release -p anc-bench --bin exp4_index_size
+//! [--datasets ...] [--scale f]`
+
+use anc_bench::args::HarnessArgs;
+use anc_bench::report::{write_json, Table};
+use anc_core::Pyramids;
+use anc_data::registry;
+
+fn main() {
+    let args = HarnessArgs::parse(1.0);
+    let names: Vec<String> = if args.datasets.is_empty() {
+        ["CA", "MI", "LA", "CM", "IE", "GI", "EA", "DB"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        args.datasets.clone()
+    };
+    let ks = [2usize, 4, 8, 16];
+
+    let mut table = Table::new({
+        let mut h = vec!["dataset".to_string(), "n".to_string(), "graph MB".to_string()];
+        h.extend(ks.iter().map(|k| format!("k={k} MB")));
+        h.push("data/index (k=4)".into());
+        h
+    });
+    let mut json = Vec::new();
+
+    for name in &names {
+        let spec = registry::by_name(name).unwrap_or_else(|| panic!("unknown dataset {name}"));
+        let ds = spec.materialize_scaled(args.seed, args.scale);
+        let g = &ds.graph;
+        let w = vec![1.0f64; g.m()];
+        let graph_mb = g.memory_bytes() as f64 / (1024.0 * 1024.0);
+        let mut row = vec![name.clone(), g.n().to_string(), format!("{graph_mb:.1}")];
+        let mut ratio_k4 = f64::NAN;
+        for &k in &ks {
+            let pyr = Pyramids::build(g, &w, k, 0.7, args.seed);
+            let mb = pyr.memory_bytes() as f64 / (1024.0 * 1024.0);
+            if k == 4 {
+                ratio_k4 = graph_mb / mb;
+            }
+            eprintln!("[exp4] {name} k={k}: {mb:.1} MB");
+            row.push(format!("{mb:.1}"));
+            json.push(serde_json::json!({
+                "dataset": name, "n": g.n(), "m": g.m(), "k": k,
+                "index_bytes": pyr.memory_bytes(), "graph_bytes": g.memory_bytes(),
+            }));
+        }
+        row.push(format!("{ratio_k4:.2}"));
+        table.row(row);
+    }
+
+    println!("\n=== Figure 6: Index Memory Cost ===");
+    table.print();
+    let path = write_json("exp4_index_size", &serde_json::json!(json)).unwrap();
+    println!("\n[exp4] JSON written to {}", path.display());
+}

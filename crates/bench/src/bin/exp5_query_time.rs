@@ -1,0 +1,66 @@
+//! **Exp 5 / Figure 7** — cluster-extraction time at granularity levels
+//! 4–8.
+//!
+//! Runs `DirectedCluster` (power clustering) at levels 4..=8 over the
+//! larger stand-ins and reports wall-clock per extraction.
+//!
+//! Expected shape (paper): extraction time grows linearly with the edge
+//! count (`O(m log n)`, Lemma 8) and is essentially flat across levels.
+//!
+//! Usage: `cargo run --release -p anc-bench --bin exp5_query_time
+//! [--datasets DB,YT,...] [--scale f]`
+
+use anc_bench::args::HarnessArgs;
+use anc_bench::report::{write_json, Table};
+use anc_bench::time;
+use anc_core::{cluster, ClusterMode, Pyramids};
+use anc_data::registry;
+
+fn main() {
+    let args = HarnessArgs::parse(1.0);
+    let names: Vec<String> = if args.datasets.is_empty() {
+        vec!["DB".into(), "YT".into()]
+    } else {
+        args.datasets.clone()
+    };
+    let levels = 4usize..=8;
+
+    let mut table = Table::new({
+        let mut h = vec!["dataset".to_string(), "m".to_string()];
+        h.extend(levels.clone().map(|l| format!("level {l}")));
+        h
+    });
+    let mut json = Vec::new();
+
+    for name in &names {
+        let spec = registry::by_name(name).unwrap_or_else(|| panic!("unknown dataset {name}"));
+        let ds = spec.materialize_scaled(args.seed, args.scale);
+        let g = &ds.graph;
+        let w = vec![1.0f64; g.m()];
+        let pyr = Pyramids::build(g, &w, 4, 0.7, args.seed);
+        let mut row = vec![name.clone(), g.m().to_string()];
+        for level in levels.clone() {
+            let level = level.min(pyr.num_levels() - 1);
+            // Median of 3 runs for stability.
+            let mut samples = Vec::new();
+            for _ in 0..3 {
+                let (c, secs) = time(|| cluster::cluster_all(g, &pyr, level, ClusterMode::Power));
+                std::hint::black_box(c.num_clusters());
+                samples.push(secs);
+            }
+            samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let secs = samples[1];
+            eprintln!("[exp5] {name} level {level}: {secs:.4}s");
+            row.push(format!("{secs:.4}"));
+            json.push(serde_json::json!({
+                "dataset": name, "m": g.m(), "level": level, "seconds": secs,
+            }));
+        }
+        table.row(row);
+    }
+
+    println!("\n=== Figure 7: Cluster Extraction Time (seconds) ===");
+    table.print();
+    let path = write_json("exp5_query_time", &serde_json::json!(json)).unwrap();
+    println!("\n[exp5] JSON written to {}", path.display());
+}

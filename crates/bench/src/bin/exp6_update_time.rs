@@ -1,0 +1,78 @@
+//! **Exp 6 / Figure 8** — UPDATE vs RECONSTRUCT across batch sizes.
+//!
+//! For batch sizes 2^0 .. 2^10: apply the batch of random activations with
+//! the bounded incremental UPDATE (Algorithms 1–3 per partition), and
+//! compare against RECONSTRUCT (rebuilding the whole index from the same
+//! weights).
+//!
+//! Expected shape (paper): UPDATE grows linearly with batch size while
+//! RECONSTRUCT is flat; at batch 1 the gap peaks — up to six orders of
+//! magnitude on the paper's largest graphs (the gap here is bounded by the
+//! laptop-scaled stand-ins, but grows visibly with graph size).
+//!
+//! Usage: `cargo run --release -p anc-bench --bin exp6_update_time
+//! [--datasets DB,YT] [--scale f]`
+
+use anc_bench::args::HarnessArgs;
+use anc_bench::report::{secs, write_json, Table};
+use anc_bench::time;
+use anc_core::{AncConfig, AncEngine};
+use anc_data::registry;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let args = HarnessArgs::parse(1.0);
+    let names: Vec<String> = if args.datasets.is_empty() {
+        vec!["DB".into(), "YT".into()]
+    } else {
+        args.datasets.clone()
+    };
+    let batch_pows = 0u32..=10;
+
+    let mut table = Table::new({
+        let mut h = vec!["dataset".to_string(), "series".to_string()];
+        h.extend(batch_pows.clone().map(|p| format!("2^{p}")));
+        h
+    });
+    let mut json = Vec::new();
+
+    for name in &names {
+        let spec = registry::by_name(name).unwrap_or_else(|| panic!("unknown dataset {name}"));
+        let ds = spec.materialize_scaled(args.seed, args.scale);
+        let g = ds.graph.clone();
+        let m = g.m();
+        eprintln!("[exp6] {name}: n = {}, m = {m}", g.n());
+        let cfg = AncConfig { rep: 1, ..Default::default() };
+        let mut engine = AncEngine::new(g, cfg, args.seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(args.seed ^ 0xfeed);
+
+        let mut update_row = vec![name.clone(), "UPDATE".to_string()];
+        let mut recon_row = vec![name.clone(), "RECONSTRUCT".to_string()];
+        let mut t = engine.now();
+        for p in batch_pows.clone() {
+            let batch: Vec<u32> =
+                (0..(1usize << p)).map(|_| rng.gen_range(0..m as u32)).collect();
+            t += 1.0;
+            let (_, secs_update) = time(|| engine.activate_batch(&batch, t));
+            let (_, secs_recon) = time(|| engine.reconstruct_index());
+            eprintln!(
+                "[exp6] {name} batch 2^{p}: UPDATE {secs_update:.5}s RECONSTRUCT {secs_recon:.3}s ({:.0}x)",
+                secs_recon / secs_update.max(1e-12)
+            );
+            update_row.push(secs(secs_update));
+            recon_row.push(secs(secs_recon));
+            json.push(serde_json::json!({
+                "dataset": name, "batch": 1usize << p,
+                "update_seconds": secs_update, "reconstruct_seconds": secs_recon,
+            }));
+        }
+        table.row(update_row);
+        table.row(recon_row);
+    }
+
+    println!("\n=== Figure 8: Update Time (seconds per batch) ===");
+    table.print();
+    let path = write_json("exp6_update_time", &serde_json::json!(json)).unwrap();
+    println!("\n[exp6] JSON written to {}", path.display());
+}

@@ -1,0 +1,62 @@
+//! Full-scale stress run: builds the largest registry stand-in (TW,
+//! 200k nodes / ~4.6M edges at `--scale 1`), streams activations, and
+//! verifies every index invariant at the end. This is the scalability
+//! smoke test behind the paper's billion-edge claims, sized to one machine.
+//!
+//! Usage: `cargo run --release -p anc-bench --bin stress [--scale f]
+//! [--steps n]` — default scale 0.25 (≈50k nodes) keeps the run under a few
+//! minutes; `--scale 1` exercises the full stand-in.
+
+use anc_bench::args::HarnessArgs;
+use anc_bench::time;
+use anc_core::{AncConfig, AncEngine, ClusterMode};
+use anc_data::{registry, stream};
+
+fn main() {
+    let args = HarnessArgs::parse(0.25);
+    let steps: usize = if args.has("long") { 50 } else { 10 };
+    let spec = registry::by_name("TW").unwrap();
+    let (ds, gen_secs) = time(|| spec.materialize_scaled(args.seed, args.scale));
+    let g = ds.graph.clone();
+    println!(
+        "[stress] TW stand-in at scale {}: n = {}, m = {} (generated in {gen_secs:.1}s)",
+        args.scale,
+        g.n(),
+        g.m()
+    );
+
+    let cfg = AncConfig { rep: 0, lambda: 0.1, ..Default::default() };
+    let (mut engine, build_secs) = time(|| AncEngine::new(g.clone(), cfg, args.seed));
+    println!(
+        "[stress] index built in {build_secs:.1}s ({} levels × 4 pyramids, {:.0} MB)",
+        engine.num_levels(),
+        engine.memory_bytes() as f64 / 1048576.0
+    );
+
+    let s = stream::uniform_per_step(&g, steps, 0.002, args.seed ^ 0x57);
+    let total = s.total_activations();
+    let (_, stream_secs) = time(|| {
+        for batch in &s.batches {
+            engine.activate_batch(&batch.edges, batch.time);
+        }
+    });
+    println!(
+        "[stress] {total} activations in {stream_secs:.1}s ({:.0} act/s, {:.1} µs/act)",
+        total as f64 / stream_secs,
+        stream_secs / total as f64 * 1e6
+    );
+
+    let (c, extract_secs) = time(|| engine.cluster_all(engine.default_level(), ClusterMode::Power));
+    println!(
+        "[stress] extraction at level {}: {} clusters in {extract_secs:.2}s",
+        engine.default_level(),
+        c.filter_small(3).num_clusters()
+    );
+
+    let (q, query_secs) = time(|| engine.local_cluster(0, engine.default_level()));
+    println!("[stress] local query: {} nodes in {query_secs:.4}s", q.len());
+
+    let (check, check_secs) = time(|| engine.check_invariants());
+    check.expect("all invariants hold after the stress run");
+    println!("[stress] full invariant check passed in {check_secs:.1}s ✓");
+}

@@ -1,0 +1,12 @@
+//! The `anc` binary: see [`anc_cli::usage`] or `anc help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match anc_cli::run(&args) {
+        Ok(report) => print!("{report}"),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Flag parsing for the CLI (hand-rolled: `--key value` pairs only, every
+//! command shares one option bag with typed accessors).
+
+/// Parsed `--key value` options.
+#[derive(Clone, Debug, Default)]
+pub struct Options {
+    pairs: Vec<(String, String)>,
+}
+
+impl Options {
+    /// Parses an argv tail. Every option must be `--key value`.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected --flag, got {key:?}"));
+            };
+            let Some(value) = it.next() else {
+                return Err(format!("--{name} needs a value"));
+            };
+            pairs.push((name.to_string(), value.clone()));
+        }
+        Ok(Self { pairs })
+    }
+
+    /// Raw string value of `--name`.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev() // later flags win
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Required string option.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required option --{name}"))
+    }
+
+    /// Typed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse {raw:?}")),
+        }
+    }
+
+    /// Typed required option.
+    pub fn require_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        let raw = self.require(name)?;
+        raw.parse().map_err(|_| format!("--{name}: cannot parse {raw:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        Options::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let o = parse(&["--graph", "g.txt", "--seed", "7"]).unwrap();
+        assert_eq!(o.get("graph"), Some("g.txt"));
+        assert_eq!(o.get_or::<u64>("seed", 0).unwrap(), 7);
+        assert_eq!(o.get_or::<f64>("scale", 1.5).unwrap(), 1.5);
+        assert!(o.get("missing").is_none());
+    }
+
+    #[test]
+    fn later_flags_win() {
+        let o = parse(&["--k", "2", "--k", "8"]).unwrap();
+        assert_eq!(o.get_or::<usize>("k", 0).unwrap(), 8);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&["graph"]).is_err());
+        assert!(parse(&["--graph"]).is_err());
+        let o = parse(&["--k", "abc"]).unwrap();
+        assert!(o.get_or::<usize>("k", 1).is_err());
+        assert!(o.require("nope").is_err());
+    }
+}

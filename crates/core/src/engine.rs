@@ -1,0 +1,765 @@
+//! The end-to-end engines (paper Section VI, "Our Methods"):
+//!
+//! * **ANCO** — the online method: [`AncEngine::activate`] updates the
+//!   activeness, applies local reinforcement with the activated trigger
+//!   edge, and repairs the index with the bounded update algorithms. Cost
+//!   per activation is `O(Σ_{x ∈ U'} deg x)` per partition (Lemma 12).
+//! * **ANCOR** — ANCO plus periodic extra reinforcement:
+//!   [`AncEngine::reinforce_edges`] replays local reinforcement over a set
+//!   of recently activated edges at intervals (5 timestamps by default in
+//!   the paper), refreshing the structural signal that dissipates between
+//!   full rebuilds. (The paper specifies the interval but not the replay
+//!   set; we use the edges activated during the elapsed interval — see
+//!   DESIGN.md §3.)
+//! * **ANCF** — the offline method: [`AncEngine::offline_snapshot`]
+//!   recomputes `S_t` from scratch with `rep` full reinforcement passes
+//!   against the *current* activeness and rebuilds the index, exactly like
+//!   indexing a fresh snapshot.
+//!
+//! One batched rescale (`anc-decay`) is shared by every store: anchored
+//! activeness and similarity absorb `g` (PosM), reciprocal weights and all
+//! pyramid distances absorb `1/g` (NegM, Lemma 10). The rescale never
+//! changes any comparison outcome, so the index structure is untouched.
+
+use anc_decay::{ActivenessStore, DecayClock, MaintainClass, Rescalable, Time};
+use anc_graph::{EdgeId, Graph, NodeId};
+use anc_metrics::Clustering;
+
+use crate::cluster::{cluster_all, ClusterMode};
+use crate::config::AncConfig;
+use crate::pyramid::Pyramids;
+use crate::query;
+use crate::reinforce::{apply_reinforcement, ReinforceParams};
+use crate::similarity::{NodeType, Scratch, SimilarityCtx};
+
+/// The online activation-network clustering engine (ANCO core).
+///
+/// ```
+/// use anc_core::{AncConfig, AncEngine, ClusterMode};
+/// use anc_graph::gen::connected_caveman;
+///
+/// let lg = connected_caveman(3, 5); // three 5-cliques with bridges
+/// let mut engine = AncEngine::new(lg.graph.clone(), AncConfig::default(), 7);
+///
+/// // Stream a few activations and query.
+/// engine.activate(0, 1.0);
+/// engine.activate(1, 2.5);
+/// let clusters = engine.cluster_all(engine.default_level(), ClusterMode::Power);
+/// assert!(clusters.num_clusters() >= 3);
+/// let mine = engine.local_cluster(0, engine.default_level());
+/// assert!(mine.contains(&0));
+/// # engine.check_invariants().unwrap();
+/// ```
+pub struct AncEngine {
+    g: Graph,
+    cfg: AncConfig,
+    clock: DecayClock,
+    /// Anchored activeness per edge (PosM).
+    act: ActivenessStore,
+    /// Anchored per-node activeness sums `A(v)` (PosM; σ denominators).
+    node_sum: Vec<f64>,
+    /// Anchored similarity `S*` per edge (PosM, Lemma 4).
+    sim: Vec<f64>,
+    /// Anchored reciprocal similarity `1/S*` per edge (NegM) — the index's
+    /// edge weights, kept materialized so partitions can read a plain slice.
+    recip: Vec<f64>,
+    /// The pyramids index.
+    pyramids: Pyramids,
+    /// Index RNG seed (reused by offline rebuilds for comparability).
+    index_seed: u64,
+    scratch: Scratch,
+    /// Running sum of the anchored similarities (for the relative floor).
+    sim_sum: f64,
+    /// Total activations processed.
+    activations: u64,
+    /// Total batched rescales performed.
+    rescales: u64,
+}
+
+/// An offline (ANCF) snapshot: a freshly initialized similarity and index
+/// for the activeness state at the moment of the call.
+pub struct OfflineSnapshot {
+    /// Anchored similarity after `rep` full passes.
+    pub sim: Vec<f64>,
+    /// Reciprocal weights.
+    pub recip: Vec<f64>,
+    /// The rebuilt index.
+    pub pyramids: Pyramids,
+}
+
+impl AncEngine {
+    /// Builds the engine: initializes `S_0` (all ones, then `cfg.rep` full
+    /// reinforcement passes — the paper's Section IV-C initialization) and
+    /// constructs the pyramids.
+    ///
+    /// Initial edge activeness is 1 (the paper's activation-network
+    /// experiments, Section VI).
+    pub fn new(g: Graph, cfg: AncConfig, seed: u64) -> Self {
+        cfg.validate();
+        let m = g.m();
+        let clock = DecayClock::with_config(cfg.lambda, cfg.rescale);
+        let act = ActivenessStore::new(m, 1.0);
+        let mut node_sum = vec![0.0; g.n()];
+        for (e, u, v) in g.iter_edges() {
+            node_sum[u as usize] += act.anchored(e);
+            node_sum[v as usize] += act.anchored(e);
+        }
+        let mut sim = vec![1.0; m];
+        let mut scratch = Scratch::new(g.n());
+        let params = ReinforceParams {
+            epsilon: cfg.epsilon,
+            mu: cfg.mu,
+            floor_anchored: cfg.floor.max(cfg.floor_rel),
+        };
+        {
+            let ctx = SimilarityCtx { g: &g, act: act.as_slice(), node_sum: &node_sum };
+            for _ in 0..cfg.rep {
+                crate::reinforce::full_pass(&ctx, &mut sim, &params, &mut scratch);
+            }
+        }
+        let recip: Vec<f64> = sim.iter().map(|s| 1.0 / s).collect();
+        let pyramids = Pyramids::build(&g, &recip, cfg.k, cfg.theta, seed);
+        let sim_sum = sim.iter().sum();
+        Self {
+            g,
+            cfg,
+            clock,
+            act,
+            node_sum,
+            sim,
+            recip,
+            pyramids,
+            index_seed: seed,
+            scratch,
+            sim_sum,
+            activations: 0,
+            rescales: 0,
+        }
+    }
+
+    /// The relation network.
+    pub fn graph(&self) -> &Graph {
+        &self.g
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AncConfig {
+        &self.cfg
+    }
+
+    /// The index.
+    pub fn pyramids(&self) -> &Pyramids {
+        &self.pyramids
+    }
+
+    /// Current time.
+    pub fn now(&self) -> Time {
+        self.clock.now()
+    }
+
+    /// Activations processed so far.
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Batched rescales performed so far.
+    pub fn rescales(&self) -> u64 {
+        self.rescales
+    }
+
+    /// True (de-anchored) activeness of `e` at the current time.
+    pub fn activeness(&self, e: EdgeId) -> f64 {
+        self.act.current(e, &self.clock)
+    }
+
+    /// True similarity `S_t(e)` at the current time.
+    pub fn similarity(&self, e: EdgeId) -> f64 {
+        self.sim[e as usize] * self.clock.global_factor()
+    }
+
+    /// Anchored similarity slice (for metric computations; anchored values
+    /// preserve all comparisons).
+    pub fn sim_anchored(&self) -> &[f64] {
+        &self.sim
+    }
+
+    /// Active similarity σ(u, v) of an edge's endpoints (NeuM — identical
+    /// for anchored and true activeness, Lemma 3).
+    pub fn sigma(&self, u: NodeId, v: NodeId) -> f64 {
+        self.ctx().sigma(u, v)
+    }
+
+    /// Node classification under the configured `(ε, µ)`.
+    pub fn node_type(&mut self, v: NodeId) -> NodeType {
+        let ctx = SimilarityCtx {
+            g: &self.g,
+            act: self.act.as_slice(),
+            node_sum: &self.node_sum,
+        };
+        ctx.node_type(v, self.cfg.epsilon, self.cfg.mu, &mut self.scratch)
+    }
+
+    fn ctx(&self) -> SimilarityCtx<'_> {
+        SimilarityCtx { g: &self.g, act: self.act.as_slice(), node_sum: &self.node_sum }
+    }
+
+    fn reinforce_params(&self) -> ReinforceParams {
+        // The anchored floor is the larger of the absolute floor on the
+        // *true* similarity (`floor × 1/g`) and the mean-relative floor on
+        // the anchored values.
+        let mean = self.sim_sum / self.g.m().max(1) as f64;
+        ReinforceParams {
+            epsilon: self.cfg.epsilon,
+            mu: self.cfg.mu,
+            floor_anchored: (self.cfg.floor * self.clock.boost())
+                .max(self.cfg.floor_rel * mean),
+        }
+    }
+
+    /// Processes one activation `(e, t)` — the ANCO per-activation path:
+    ///
+    /// 1. advance the clock and bump the anchored activeness (`O(1)`,
+    ///    Lemma 1);
+    /// 2. apply local reinforcement with trigger edge `e` (`O(deg u +
+    ///    deg v)` neighborhood work, Lemma 5);
+    /// 3. repair every Voronoi partition for the changed weight
+    ///    (Algorithms 1–3, bounded by the affected region, Lemma 12);
+    /// 4. absorb a batched rescale if one is due.
+    pub fn activate(&mut self, e: EdgeId, t: Time) {
+        self.activate_traced(e, t);
+    }
+
+    /// Like [`Self::activate`] but returns the update's footprint: the
+    /// per-partition affected-node lists (pyramid-major order), ready to be
+    /// fed to a [`crate::VoteCache`] / [`crate::ClusterMonitor`] for
+    /// real-time change reporting (the paper's Section V-C Remarks).
+    ///
+    /// An empty trace means the activation left the similarity (and hence
+    /// the index) unchanged.
+    pub fn activate_traced(&mut self, e: EdgeId, t: Time) -> Vec<Vec<NodeId>> {
+        self.clock.advance_to(t);
+        self.act.activate(e, &self.clock);
+        let (u, v) = self.g.endpoints(e);
+        let boost = self.clock.boost();
+        self.node_sum[u as usize] += boost;
+        self.node_sum[v as usize] += boost;
+        self.clock.note_activation();
+        self.activations += 1;
+
+        let trace = self.reinforce_and_repair(e);
+        self.maybe_rescale();
+        trace
+    }
+
+    /// Applies local reinforcement on `e` and propagates the weight change
+    /// into the index (shared by the ANCO path and ANCOR replays). Returns
+    /// the per-partition affected nodes (empty when the similarity did not
+    /// change).
+    fn reinforce_and_repair(&mut self, e: EdgeId) -> Vec<Vec<NodeId>> {
+        let params = self.reinforce_params();
+        let ctx = SimilarityCtx { g: &self.g, act: self.act.as_slice(), node_sum: &self.node_sum };
+        let out = apply_reinforcement(&ctx, &mut self.sim, e, &params, &mut self.scratch);
+        self.sim_sum += out.new_sim - out.old_sim;
+        if out.new_sim != out.old_sim {
+            let old_w = self.recip[e as usize];
+            self.recip[e as usize] = 1.0 / out.new_sim;
+            if self.cfg.parallel_updates {
+                self.pyramids.on_weight_change(&self.g, &self.recip, e, old_w)
+            } else {
+                self.pyramids.on_weight_change_serial(&self.g, &self.recip, e, old_w)
+            }
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Processes a batch of activations arriving at the same time `t`.
+    pub fn activate_batch(&mut self, edges: &[EdgeId], t: Time) {
+        for &e in edges {
+            self.activate(e, t);
+        }
+    }
+
+    /// Batch processing with an adaptive repair strategy.
+    ///
+    /// The bounded UPDATE wins for small batches but its cost grows linearly
+    /// with the batch while RECONSTRUCT is flat (Figure 8), so past a
+    /// crossover it is cheaper to apply all state updates first and rebuild
+    /// the index once. `rebuild_threshold` is that crossover in activations;
+    /// `None` uses `m / 16`, a conservative fit of the Exp 6 curves.
+    ///
+    /// State evolution (activeness, similarity) is identical to
+    /// [`Self::activate_batch`] — only the index-repair strategy differs,
+    /// and a rebuild reproduces the same distances the incremental repairs
+    /// would (deferring the *repairs* themselves would not be sound: a
+    /// repair for one edge may propagate distances through regions another
+    /// pending repair has yet to invalidate).
+    pub fn activate_batch_adaptive(
+        &mut self,
+        edges: &[EdgeId],
+        t: Time,
+        rebuild_threshold: Option<usize>,
+    ) {
+        let threshold = rebuild_threshold.unwrap_or_else(|| (self.g.m() / 16).max(64));
+        if edges.len() < threshold {
+            self.activate_batch(edges, t);
+            return;
+        }
+        // State updates without per-activation index repair…
+        self.clock.advance_to(t);
+        for &e in edges {
+            self.act.activate(e, &self.clock);
+            let (u, v) = self.g.endpoints(e);
+            let boost = self.clock.boost();
+            self.node_sum[u as usize] += boost;
+            self.node_sum[v as usize] += boost;
+            self.clock.note_activation();
+            self.activations += 1;
+            let params = self.reinforce_params();
+            let ctx =
+                SimilarityCtx { g: &self.g, act: self.act.as_slice(), node_sum: &self.node_sum };
+            let out = apply_reinforcement(&ctx, &mut self.sim, e, &params, &mut self.scratch);
+            self.sim_sum += out.new_sim - out.old_sim;
+            if out.new_sim != out.old_sim {
+                self.recip[e as usize] = 1.0 / out.new_sim;
+            }
+        }
+        // …then one reconstruction over the final weights.
+        self.reconstruct_index();
+        self.maybe_rescale();
+    }
+
+    /// ANCOR's periodic replay: applies one extra local reinforcement (and
+    /// index repair) per edge in `edges` at the current time.
+    pub fn reinforce_edges(&mut self, edges: &[EdgeId]) {
+        for &e in edges {
+            self.reinforce_and_repair(e);
+        }
+        self.maybe_rescale();
+    }
+
+    fn maybe_rescale(&mut self) {
+        if self.clock.needs_rescale() {
+            self.force_rescale();
+        }
+    }
+
+    /// Forces a batched rescale now (exposed for tests and ablations).
+    pub fn force_rescale(&mut self) {
+        let g = self.clock.take_rescale();
+        self.act.rescale(g);
+        anc_decay::absorb(MaintainClass::Pos, &mut self.node_sum, g);
+        anc_decay::absorb(MaintainClass::Pos, &mut self.sim, g);
+        anc_decay::absorb(MaintainClass::Neg, &mut self.recip, g);
+        self.pyramids.rescale(1.0 / g);
+        self.sim_sum *= g;
+        self.rescales += 1;
+    }
+
+    // --- queries ----------------------------------------------------------
+
+    /// Number of granularity levels (`⌈log₂ n⌉`).
+    pub fn num_levels(&self) -> usize {
+        self.pyramids.num_levels()
+    }
+
+    /// The `Θ(√n)`-clusters entry level of Problem 1.
+    pub fn default_level(&self) -> usize {
+        self.pyramids.default_level()
+    }
+
+    /// All clusters at `level` (Problem 1(1)).
+    pub fn cluster_all(&self, level: usize, mode: ClusterMode) -> Clustering {
+        cluster_all(&self.g, &self.pyramids, level, mode)
+    }
+
+    /// The cluster containing `v` at `level` (Problem 1(2)); even-clustering
+    /// semantics, cost proportional to the result (Lemma 9).
+    pub fn local_cluster(&self, v: NodeId, level: usize) -> Vec<NodeId> {
+        query::local_cluster(&self.g, &self.pyramids, v, level)
+    }
+
+    /// The cluster containing `v` under power-clustering semantics.
+    pub fn local_cluster_power(&self, v: NodeId, level: usize) -> Vec<NodeId> {
+        query::local_cluster_power(&self.g, &self.pyramids, v, level)
+    }
+
+    /// The smallest cluster containing `v` (finest granularity).
+    pub fn smallest_cluster(&self, v: NodeId) -> Vec<NodeId> {
+        query::smallest_cluster(&self.g, &self.pyramids, v)
+    }
+
+    /// Approximate *true* (de-anchored) distance `M_t(u, v)` answered from
+    /// the index in `O(k log n)` via the underlying Das Sarma sketch: never
+    /// an underestimate, `O(log n)` expected stretch. `f64::INFINITY` when
+    /// no partition joins the pair.
+    pub fn approx_distance(&self, u: NodeId, v: NodeId) -> f64 {
+        // Stored distances are anchored (weights 1/S*); the true NegM value
+        // divides by the global factor g... true w = w*/g, so true dist =
+        // anchored / g.
+        self.pyramids.approx_distance(u, v) / self.clock.global_factor()
+    }
+
+    /// Exact *true* distance `M_t(u, v)` by on-line Dijkstra (`O(m log n)`),
+    /// the reference for [`Self::approx_distance`].
+    pub fn exact_distance(&self, u: NodeId, v: NodeId) -> f64 {
+        crate::metric::distance(&self.g, &self.sim, u, v) / self.clock.global_factor()
+    }
+
+    // --- offline (ANCF) & maintenance -------------------------------------
+
+    /// Builds an ANCF snapshot: resets `S` to 1, runs `rep` full
+    /// reinforcement passes against the current activeness, and rebuilds the
+    /// index from scratch. The engine itself is unchanged.
+    pub fn offline_snapshot(&mut self, rep: usize) -> OfflineSnapshot {
+        let mut sim = vec![1.0; self.g.m()];
+        // Fresh S₀ starts at mean 1, so the relative floor applies directly.
+        let params = ReinforceParams {
+            epsilon: self.cfg.epsilon,
+            mu: self.cfg.mu,
+            floor_anchored: self.cfg.floor.max(self.cfg.floor_rel),
+        };
+        {
+            let ctx =
+                SimilarityCtx { g: &self.g, act: self.act.as_slice(), node_sum: &self.node_sum };
+            for _ in 0..rep {
+                crate::reinforce::full_pass(&ctx, &mut sim, &params, &mut self.scratch);
+            }
+        }
+        let recip: Vec<f64> = sim.iter().map(|s| 1.0 / s).collect();
+        let pyramids =
+            Pyramids::build(&self.g, &recip, self.cfg.k, self.cfg.theta, self.index_seed);
+        OfflineSnapshot { sim, recip, pyramids }
+    }
+
+    /// Rebuilds the engine's own index from its current weights — the
+    /// RECONSTRUCT baseline of Figure 8.
+    pub fn reconstruct_index(&mut self) {
+        self.pyramids =
+            Pyramids::build(&self.g, &self.recip, self.cfg.k, self.cfg.theta, self.index_seed);
+    }
+
+    /// Captures the complete engine state for checkpointing
+    /// (see [`crate::persist`]).
+    pub fn to_snapshot(&self) -> crate::persist::EngineSnapshot {
+        crate::persist::EngineSnapshot {
+            version: crate::persist::SNAPSHOT_VERSION,
+            graph: self.g.clone(),
+            config: self.cfg.clone(),
+            clock: self.clock.clone(),
+            activeness: self.act.clone(),
+            node_sum: self.node_sum.clone(),
+            sim: self.sim.clone(),
+            pyramids: self.pyramids.clone(),
+            index_seed: self.index_seed,
+            sim_sum: self.sim_sum,
+            activations: self.activations,
+            rescales: self.rescales,
+        }
+    }
+
+    /// Restores an engine from a snapshot. Validates consistency; scratch
+    /// buffers and the derived reciprocal weights are rebuilt (`O(n + m)`),
+    /// everything else is adopted as-is.
+    pub fn from_snapshot(
+        snapshot: crate::persist::EngineSnapshot,
+    ) -> Result<Self, crate::persist::RestoreError> {
+        snapshot.validate()?;
+        let recip: Vec<f64> = snapshot.sim.iter().map(|s| 1.0 / s).collect();
+        let scratch = Scratch::new(snapshot.graph.n());
+        Ok(Self {
+            g: snapshot.graph,
+            cfg: snapshot.config,
+            clock: snapshot.clock,
+            act: snapshot.activeness,
+            node_sum: snapshot.node_sum,
+            sim: snapshot.sim,
+            recip,
+            pyramids: snapshot.pyramids,
+            index_seed: snapshot.index_seed,
+            scratch,
+            sim_sum: snapshot.sim_sum,
+            activations: snapshot.activations,
+            rescales: snapshot.rescales,
+        })
+    }
+
+    /// Total heap bytes: index plus per-edge state (graph excluded, matching
+    /// the paper's "space for storing the graph is excluded" in Exp 4).
+    pub fn memory_bytes(&self) -> usize {
+        self.pyramids.memory_bytes()
+            + self.act.memory_bytes()
+            + (self.node_sum.len() + self.sim.len() + self.recip.len())
+                * std::mem::size_of::<f64>()
+    }
+
+    /// Verifies every index invariant against the current weights (testing
+    /// aid; `O(k · m log n)`).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (e, s) in self.sim.iter().enumerate() {
+            if !s.is_finite() || *s <= 0.0 {
+                return Err(format!("similarity of edge {e} is {s}"));
+            }
+            let r = self.recip[e];
+            if (r - 1.0 / s).abs() > 1e-9 * r.abs() {
+                return Err(format!("recip of edge {e} out of sync"));
+            }
+        }
+        self.pyramids.check_invariants(&self.g, &self.recip)
+    }
+}
+
+impl OfflineSnapshot {
+    /// All clusters at `level` from the snapshot index.
+    pub fn cluster_all(&self, g: &Graph, level: usize, mode: ClusterMode) -> Clustering {
+        cluster_all(g, &self.pyramids, level, mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anc_graph::gen::connected_caveman;
+
+    fn engine_fixture(rep: usize) -> AncEngine {
+        let lg = connected_caveman(4, 6);
+        let cfg = AncConfig { rep, mu: 3, epsilon: 0.25, k: 4, ..Default::default() };
+        AncEngine::new(lg.graph, cfg, 42)
+    }
+
+    #[test]
+    fn construction_is_consistent() {
+        let engine = engine_fixture(2);
+        engine.check_invariants().unwrap();
+        assert_eq!(engine.activations(), 0);
+        assert!(engine.num_levels() >= 4); // n = 24 → ⌈log₂ 24⌉ = 5
+    }
+
+    #[test]
+    fn initialization_recovers_cliques() {
+        let lg = connected_caveman(4, 6);
+        let labels = lg.labels.clone();
+        let cfg = AncConfig { rep: 3, mu: 3, epsilon: 0.25, k: 4, ..Default::default() };
+        let engine = AncEngine::new(lg.graph, cfg, 7);
+        let c = engine.cluster_all(engine.default_level(), ClusterMode::Power);
+        let truth = Clustering::from_labels(&labels);
+        let score = anc_metrics::nmi(&c, &truth);
+        assert!(score > 0.8, "caveman NMI should be high, got {score}");
+    }
+
+    #[test]
+    fn activations_keep_invariants() {
+        let mut engine = engine_fixture(1);
+        let m = engine.graph().m() as u32;
+        for i in 0..50u32 {
+            engine.activate((i * 7) % m, 1.0 + i as f64 * 0.25);
+        }
+        engine.check_invariants().unwrap();
+        assert_eq!(engine.activations(), 50);
+    }
+
+    #[test]
+    fn online_update_matches_full_rebuild() {
+        // The decisive end-to-end property: after a stream of activations,
+        // the incrementally maintained index must equal an index rebuilt
+        // from scratch over the same weights (same seeds → same partitions).
+        let mut engine = engine_fixture(1);
+        let m = engine.graph().m() as u32;
+        for i in 0..40u32 {
+            engine.activate((i * 11 + 3) % m, (i / 4) as f64);
+        }
+        let live_dists: Vec<Vec<f64>> = (0..engine.pyramids().k())
+            .flat_map(|p| {
+                (0..engine.num_levels()).map(move |l| (p, l))
+            })
+            .map(|(p, l)| {
+                (0..engine.graph().n() as u32)
+                    .map(|v| engine.pyramids().partition(p, l).dist(v))
+                    .collect()
+            })
+            .collect();
+        engine.reconstruct_index();
+        let mut idx = 0;
+        for p in 0..engine.pyramids().k() {
+            for l in 0..engine.num_levels() {
+                for v in 0..engine.graph().n() as u32 {
+                    let fresh = engine.pyramids().partition(p, l).dist(v);
+                    let live = live_dists[idx][v as usize];
+                    assert!(
+                        (fresh - live).abs() <= 1e-6 * (1.0 + fresh.abs()),
+                        "pyramid {p} level {l} node {v}: live {live} vs rebuild {fresh}"
+                    );
+                }
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn rescale_changes_nothing_observable() {
+        let mut engine = engine_fixture(1);
+        let m = engine.graph().m() as u32;
+        for i in 0..20u32 {
+            engine.activate(i % m, i as f64);
+        }
+        let level = engine.default_level();
+        let before = engine.cluster_all(level, ClusterMode::Power);
+        let sim_before = engine.similarity(0);
+        let act_before = engine.activeness(0);
+        engine.force_rescale();
+        engine.check_invariants().unwrap();
+        let after = engine.cluster_all(level, ClusterMode::Power);
+        assert_eq!(before, after, "rescale must not change clustering");
+        assert!((engine.similarity(0) - sim_before).abs() < 1e-9 * (1.0 + sim_before));
+        assert!((engine.activeness(0) - act_before).abs() < 1e-9 * (1.0 + act_before));
+        assert!(engine.rescales() >= 1);
+    }
+
+    #[test]
+    fn decay_weakens_unactivated_community_bonds() {
+        // Activate only clique 0's edges; by a late time, similarities of
+        // clique 0 edges (true values) should dominate the others.
+        let lg = connected_caveman(2, 5);
+        let labels = lg.labels.clone();
+        let cfg = AncConfig { rep: 1, lambda: 0.2, mu: 3, epsilon: 0.25, ..Default::default() };
+        let mut engine = AncEngine::new(lg.graph, cfg, 3);
+        let clique0: Vec<u32> = engine
+            .graph()
+            .iter_edges()
+            .filter(|&(_, u, v)| labels[u as usize] == 0 && labels[v as usize] == 0)
+            .map(|(e, _, _)| e)
+            .collect();
+        for t in 1..=30 {
+            let edges = clique0.clone();
+            engine.activate_batch(&edges, t as f64);
+        }
+        let hot = engine.similarity(clique0[0]);
+        let cold_edge = engine
+            .graph()
+            .iter_edges()
+            .find(|&(_, u, v)| labels[u as usize] == 1 && labels[v as usize] == 1)
+            .map(|(e, _, _)| e)
+            .unwrap();
+        let cold = engine.similarity(cold_edge);
+        assert!(hot > cold, "activated clique must stay stronger: {hot} vs {cold}");
+    }
+
+    #[test]
+    fn offline_snapshot_is_independent() {
+        let mut engine = engine_fixture(0);
+        let m = engine.graph().m() as u32;
+        for i in 0..10u32 {
+            engine.activate(i % m, i as f64 / 2.0);
+        }
+        let before: Vec<f64> = engine.sim_anchored().to_vec();
+        let snap = engine.offline_snapshot(3);
+        assert_eq!(engine.sim_anchored(), &before[..], "engine must be unchanged");
+        assert_eq!(snap.sim.len(), engine.graph().m());
+        let g = engine.graph().clone();
+        let c = snap.cluster_all(&g, snap.pyramids.default_level(), ClusterMode::Power);
+        assert!(c.num_clusters() >= 1);
+    }
+
+    #[test]
+    fn ancor_reinforce_edges_keeps_invariants() {
+        let mut engine = engine_fixture(1);
+        let m = engine.graph().m() as u32;
+        let mut recent = vec![];
+        for i in 0..30u32 {
+            let e = (i * 5 + 1) % m;
+            engine.activate(e, i as f64 * 0.2);
+            recent.push(e);
+            if i % 5 == 4 {
+                let batch: Vec<u32> = std::mem::take(&mut recent);
+                engine.reinforce_edges(&batch);
+            }
+        }
+        engine.check_invariants().unwrap();
+    }
+
+#[test]
+    fn traced_activation_reports_footprint() {
+        let mut engine = engine_fixture(1);
+        let m = engine.graph().m() as u32;
+        let mut any_nonempty = false;
+        for i in 0..20u32 {
+            let trace = engine.activate_traced(i % m, 1.0 + i as f64 * 0.5);
+            if trace.is_empty() {
+                continue;
+            }
+            any_nonempty = true;
+            // One entry per partition.
+            assert_eq!(
+                trace.len(),
+                engine.pyramids().k() * engine.num_levels(),
+                "trace arity"
+            );
+            for nodes in &trace {
+                for &x in nodes {
+                    assert!((x as usize) < engine.graph().n());
+                }
+            }
+        }
+        assert!(any_nonempty, "some activation must move the index");
+    }
+
+    #[test]
+    fn approx_distance_consistent_with_exact() {
+        let mut engine = engine_fixture(1);
+        let m = engine.graph().m() as u32;
+        for i in 0..30u32 {
+            engine.activate((i * 3 + 1) % m, i as f64 * 0.3);
+        }
+        for u in (0..engine.graph().n() as u32).step_by(5) {
+            for v in (0..engine.graph().n() as u32).step_by(7) {
+                let est = engine.approx_distance(u, v);
+                let exact = engine.exact_distance(u, v);
+                if u == v {
+                    assert_eq!(est, 0.0);
+                } else if exact.is_finite() {
+                    assert!(est >= exact * (1.0 - 1e-9), "({u},{v}) est {est} < exact {exact}");
+                } else {
+                    assert!(est.is_infinite());
+                }
+            }
+        }
+    }
+
+#[test]
+    fn adaptive_batch_matches_per_activation_path() {
+        let lg = connected_caveman(3, 5);
+        let cfg = AncConfig { rep: 1, k: 2, ..Default::default() };
+        let mut a = AncEngine::new(lg.graph.clone(), cfg.clone(), 11);
+        let mut b = AncEngine::new(lg.graph.clone(), cfg, 11);
+        let m = lg.graph.m() as u32;
+        let batch: Vec<u32> = (0..40).map(|i| (i * 3 + 1) % m).collect();
+        a.activate_batch(&batch, 2.0);
+        b.activate_batch_adaptive(&batch, 2.0, Some(1)); // force rebuild path
+        // Identical state…
+        for e in 0..m {
+            assert_eq!(a.similarity(e), b.similarity(e));
+            assert_eq!(a.activeness(e), b.activeness(e));
+        }
+        // …and identical index distances.
+        for p in 0..a.pyramids().k() {
+            for l in 0..a.num_levels() {
+                for v in 0..lg.graph.n() as u32 {
+                    let (da, db) =
+                        (a.pyramids().partition(p, l).dist(v), b.pyramids().partition(p, l).dist(v));
+                    assert!((da - db).abs() < 1e-9 * (1.0 + db.abs()));
+                }
+            }
+        }
+        b.check_invariants().unwrap();
+        // Below the threshold it takes the incremental path.
+        let mut c = AncEngine::new(lg.graph.clone(), AncConfig { rep: 1, k: 2, ..Default::default() }, 11);
+        c.activate_batch_adaptive(&batch[..2], 1.0, Some(1000));
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let engine = engine_fixture(0);
+        assert!(engine.memory_bytes() > 0);
+    }
+}

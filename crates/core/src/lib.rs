@@ -1,0 +1,52 @@
+//! # anc-core
+//!
+//! The primary contribution of *Clustering Activation Networks* (Feng, Qiao,
+//! Cheng — ICDE 2022): an incrementally maintainable structural+temporal
+//! clustering index for activation networks.
+//!
+//! The pipeline (paper Figure 1):
+//!
+//! 1. **Edge activeness** under the time-decay scheme is maintained with the
+//!    global decay factor (`anc-decay`).
+//! 2. **Active similarity** σ (activeness-weighted Jaccard) classifies nodes
+//!    into core / p-core / periphery ([`similarity`]).
+//! 3. **Local reinforcement** folds structural cohesiveness and activeness
+//!    into one similarity function `S_t` on edges, updated per activation in
+//!    `O(deg u + deg v)` neighborhood work ([`reinforce`], Lemma 5).
+//! 4. The **distance metric** `M_t` is the shortest distance under edge
+//!    weight `1/S_t`; shortest paths propagate local similarity, replacing
+//!    Attractor's ~50 global iterations ([`metric`]).
+//! 5. The **pyramids index** `P` — `k` pyramids of `⌈log₂ n⌉` randomized
+//!    Voronoi partitions each (after Das Sarma et al.) — supports clustering
+//!    at `O(log n)` granularities ([`voronoi`], [`pyramid`]).
+//! 6. **Voting + even/power clustering** extract clusters; zoom-in/zoom-out
+//!    adjust the granularity level ([`cluster`], [`query`]).
+//! 7. **Bounded incremental updates** (Algorithms 1–3) repair each Voronoi
+//!    partition in time proportional to the affected region ([`voronoi`],
+//!    Lemmas 11–12), embarrassingly parallel across partitions (Lemma 13).
+//!
+//! [`engine::AncEngine`] assembles all of the above into the paper's ANCO /
+//! ANCOR online methods and the ANCF offline method.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+mod config;
+pub mod engine;
+pub mod metric;
+pub mod persist;
+pub mod pyramid;
+pub mod query;
+pub mod reinforce;
+pub mod similarity;
+pub mod vote;
+pub mod voronoi;
+
+pub use cluster::ClusterMode;
+pub use config::AncConfig;
+pub use engine::{AncEngine, OfflineSnapshot};
+pub use persist::{EngineSnapshot, RestoreError};
+pub use pyramid::Pyramids;
+pub use similarity::NodeType;
+pub use vote::{ClusterMonitor, VoteCache};

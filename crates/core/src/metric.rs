@@ -1,0 +1,134 @@
+//! The distance metric `M_t` and attraction strength (paper Section IV-C).
+//!
+//! Given the similarity function `S_t`, the metric is the pairwise shortest
+//! distance under edge weight `S_t^{-1}(e) = 1/S_t(e)`. The **attraction
+//! strength** of two nodes is `1 / dist(u, v)` — equivalently, the maximum
+//! over connecting paths of the harmonic mean of edge similarities divided
+//! by the hop count, which is how shortest paths propagate local similarity
+//! (replacing Attractor's iterated weight updates).
+//!
+//! The metric is NegM (Lemma 6): all functions here accept *anchored*
+//! similarities and return anchored distances; true distances are
+//! `anchored / g(t, t*)`... times `g`, i.e. `M_t = M* × g^{-1}` — but since
+//! every comparison in the system is between same-time distances, anchored
+//! values are used throughout.
+
+use anc_graph::dijkstra::pair_distance;
+use anc_graph::{Graph, NodeId};
+
+/// Shortest distance between `u` and `v` under weight `1/sim[e]`
+/// (∞ if disconnected). `O((n + m) log n)` with early exit.
+pub fn distance(g: &Graph, sim: &[f64], u: NodeId, v: NodeId) -> f64 {
+    pair_distance(g, u, v, |e| 1.0 / sim[e as usize])
+}
+
+/// Attraction strength `1 / dist(u, v)` (0 if disconnected).
+pub fn attraction_strength(g: &Graph, sim: &[f64], u: NodeId, v: NodeId) -> f64 {
+    let d = distance(g, sim, u, v);
+    if d == 0.0 {
+        f64::INFINITY
+    } else if d.is_finite() {
+        1.0 / d
+    } else {
+        0.0
+    }
+}
+
+/// The harmonic-mean form of the attraction strength along an explicit
+/// path: `(harmonic mean of S on the path's edges) / hops`. Exposed to let
+/// tests verify the paper's equivalence claim.
+///
+/// Returns `None` if `path` is not a valid walk in `g`.
+pub fn path_attraction(g: &Graph, sim: &[f64], path: &[NodeId]) -> Option<f64> {
+    if path.len() < 2 {
+        return None;
+    }
+    let hops = (path.len() - 1) as f64;
+    let mut recip_sum = 0.0;
+    for w in path.windows(2) {
+        let e = g.edge_id(w[0], w[1])?;
+        recip_sum += 1.0 / sim[e as usize];
+    }
+    // Harmonic mean = hops / Σ(1/S); divided by hops = 1 / Σ(1/S).
+    let harmonic_mean = hops / recip_sum;
+    Some(harmonic_mean / hops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anc_graph::Graph;
+
+    fn path_graph() -> (Graph, Vec<f64>) {
+        // 0-1-2-3 with similarities 2, 4, 1.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut sim = vec![1.0; g.m()];
+        sim[g.edge_id(0, 1).unwrap() as usize] = 2.0;
+        sim[g.edge_id(1, 2).unwrap() as usize] = 4.0;
+        sim[g.edge_id(2, 3).unwrap() as usize] = 1.0;
+        (g, sim)
+    }
+
+    #[test]
+    fn distance_is_sum_of_reciprocals() {
+        let (g, sim) = path_graph();
+        // dist(0,2) = 1/2 + 1/4 = 0.75
+        assert!((distance(&g, &sim, 0, 2) - 0.75).abs() < 1e-12);
+        assert!((distance(&g, &sim, 0, 3) - 1.75).abs() < 1e-12);
+        assert_eq!(distance(&g, &sim, 1, 1), 0.0);
+    }
+
+    #[test]
+    fn attraction_is_inverse_distance_and_harmonic_mean_form() {
+        let (g, sim) = path_graph();
+        let a = attraction_strength(&g, &sim, 0, 2);
+        assert!((a - 1.0 / 0.75).abs() < 1e-12);
+        // Paper's equivalence: attraction along the (unique) shortest path
+        // equals (harmonic mean of similarities) / hops.
+        let via_path = path_attraction(&g, &sim, &[0, 1, 2]).unwrap();
+        assert!((a - via_path).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attraction_prefers_similar_paths() {
+        // Diamond: 0-1-3 (high similarity) vs 0-2-3 (low similarity).
+        let g = Graph::from_edges(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]);
+        let mut sim = vec![1.0; g.m()];
+        sim[g.edge_id(0, 1).unwrap() as usize] = 10.0;
+        sim[g.edge_id(1, 3).unwrap() as usize] = 10.0;
+        sim[g.edge_id(0, 2).unwrap() as usize] = 0.5;
+        sim[g.edge_id(2, 3).unwrap() as usize] = 0.5;
+        // Shortest distance uses the similar path: 0.1 + 0.1 = 0.2.
+        assert!((distance(&g, &sim, 0, 3) - 0.2).abs() < 1e-12);
+        let best = path_attraction(&g, &sim, &[0, 1, 3]).unwrap();
+        let worse = path_attraction(&g, &sim, &[0, 2, 3]).unwrap();
+        assert!(best > worse);
+        assert!((attraction_strength(&g, &sim, 0, 3) - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_hops_weaken_attraction() {
+        // Equal similarities: a longer path must yield smaller attraction.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let sim = vec![1.0; g.m()];
+        let a12 = attraction_strength(&g, &sim, 0, 1);
+        let a13 = attraction_strength(&g, &sim, 0, 2);
+        let a14 = attraction_strength(&g, &sim, 0, 4);
+        assert!(a12 > a13 && a13 > a14);
+    }
+
+    #[test]
+    fn disconnected_pairs() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let sim = vec![1.0];
+        assert!(distance(&g, &sim, 0, 2).is_infinite());
+        assert_eq!(attraction_strength(&g, &sim, 0, 2), 0.0);
+    }
+
+    #[test]
+    fn invalid_paths_rejected() {
+        let (g, sim) = path_graph();
+        assert!(path_attraction(&g, &sim, &[0]).is_none());
+        assert!(path_attraction(&g, &sim, &[0, 3]).is_none()); // no edge 0-3
+    }
+}

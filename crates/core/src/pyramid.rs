@@ -1,0 +1,400 @@
+//! The **pyramids** index `P` (paper Section V-A): `k` pyramids, each a
+//! suite of `⌈log₂ n⌉` Voronoi partitions at geometrically growing seed
+//! counts, used as a voting system for multi-granularity clustering.
+//!
+//! Level `l ∈ [1, ⌈log₂ n⌉]` samples `2^{l-1}` seeds uniformly at random
+//! without replacement (following the paper's worked Example 3, where level
+//! 1 has a single seed whose shortest-path tree spans the graph). Index
+//! size and construction time are `O(n log² n + m log n)` (Lemma 7).
+//!
+//! The `log₂(n) × k` partitions are mutually independent in storage, update
+//! and query processing, so updates parallelize embarrassingly (Lemma 13) —
+//! [`Pyramids::on_weight_change`] fans out across partitions with rayon.
+
+use anc_graph::{EdgeId, Graph, NodeId};
+use rand::seq::index::sample;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+use crate::voronoi::VoronoiPartition;
+
+/// The full index: `k × levels` Voronoi partitions plus the voting
+/// threshold.
+///
+/// ```
+/// use anc_core::Pyramids;
+/// use anc_graph::gen::paper_figure2;
+///
+/// let (g, weights) = paper_figure2(); // the paper's 13-node example
+/// let pyr = Pyramids::build(&g, &weights, 2, 0.7, 42);
+/// assert_eq!(pyr.num_levels(), 4); // ⌈log₂ 13⌉, as in Example 3
+/// // H_l: are two nodes co-clustered at the coarsest granularity?
+/// let _ = pyr.same_cluster(0, 1, 0);
+/// ```
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Pyramids {
+    /// Flattened partitions: `partitions[p * levels + l]` is level `l`
+    /// (0-based) of pyramid `p`.
+    partitions: Vec<VoronoiPartition>,
+    k: usize,
+    levels: usize,
+    needed_votes: usize,
+    n: usize,
+}
+
+impl Pyramids {
+    /// Builds the index over `g` with edge weights `weights` (reciprocal
+    /// anchored similarity).
+    ///
+    /// * `k` — number of pyramids (paper default 4).
+    /// * `theta` — voting support threshold (paper default 0.7).
+    /// * `seed` — RNG seed for the per-level uniform seed sampling.
+    ///
+    /// Levels are built in parallel.
+    pub fn build(g: &Graph, weights: &[f64], k: usize, theta: f64, seed: u64) -> Self {
+        assert!(k >= 1);
+        let n = g.n();
+        let levels = Self::levels_for(n);
+        // Pre-sample all seed sets deterministically, then build in parallel.
+        let mut seed_sets = Vec::with_capacity(k * levels);
+        for p in 0..k {
+            for l in 0..levels {
+                let mut rng =
+                    ChaCha8Rng::seed_from_u64(seed ^ ((p as u64) << 32) ^ (l as u64));
+                let want = (1usize << l).min(n);
+                let chosen: Vec<NodeId> =
+                    sample(&mut rng, n, want).into_iter().map(|i| i as NodeId).collect();
+                seed_sets.push(chosen);
+            }
+        }
+        let partitions: Vec<VoronoiPartition> = seed_sets
+            .into_par_iter()
+            .map(|seeds| VoronoiPartition::build(g, weights, seeds))
+            .collect();
+        let needed_votes = ((theta * k as f64).ceil() as usize).clamp(1, k);
+        Self { partitions, k, levels, needed_votes, n }
+    }
+
+    /// Number of granularity levels `⌈log₂ n⌉` (min 1).
+    pub fn levels_for(n: usize) -> usize {
+        if n <= 2 {
+            1
+        } else {
+            (usize::BITS - (n - 1).leading_zeros()) as usize
+        }
+    }
+
+    /// Number of pyramids `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of granularity levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Votes needed for two nodes to be co-clustered (`⌈θk⌉`).
+    pub fn needed_votes(&self) -> usize {
+        self.needed_votes
+    }
+
+    /// The level whose seed count is closest to `√n` from above — the
+    /// paper's Problem 1 entry granularity with `Θ(√n)` clusters.
+    pub fn default_level(&self) -> usize {
+        let target = (self.n as f64).sqrt();
+        (0..self.levels)
+            .find(|&l| (1usize << l) as f64 >= target)
+            .unwrap_or(self.levels - 1)
+    }
+
+    /// Access a partition (pyramid `p`, 0-based level `l`).
+    pub fn partition(&self, p: usize, l: usize) -> &VoronoiPartition {
+        &self.partitions[p * self.levels + l]
+    }
+
+    /// Number of pyramids whose level-`l` partition puts `u` and `v` under
+    /// the same seed (the vote count behind `H_l(u, v)`).
+    pub fn votes(&self, u: NodeId, v: NodeId, l: usize) -> usize {
+        (0..self.k)
+            .filter(|&p| self.partition(p, l).same_seed(u, v))
+            .count()
+    }
+
+    /// The voting function `H_l(u, v)` (Section V-B): 1 iff at least `⌈θk⌉`
+    /// pyramids agree at level `l`.
+    pub fn same_cluster(&self, u: NodeId, v: NodeId, l: usize) -> bool {
+        // Early exit once the threshold is reached or becomes unreachable.
+        let mut have = 0;
+        for p in 0..self.k {
+            if self.partition(p, l).same_seed(u, v) {
+                have += 1;
+                if have >= self.needed_votes {
+                    return true;
+                }
+            } else if have + (self.k - p - 1) < self.needed_votes {
+                return false;
+            }
+        }
+        false
+    }
+
+    /// Propagates one edge-weight change to every partition (Algorithms 1–3
+    /// per partition), in parallel across the `k·⌈log₂ n⌉` independent
+    /// partitions (Lemma 13). Returns, per partition (pyramid-major order,
+    /// `p * levels + l`), the nodes whose seed assignment or distance
+    /// changed.
+    pub fn on_weight_change(
+        &mut self,
+        g: &Graph,
+        weights: &[f64],
+        e: EdgeId,
+        old_w: f64,
+    ) -> Vec<Vec<NodeId>> {
+        self.partitions
+            .par_iter_mut()
+            .map(|p| p.on_weight_change(g, weights, e, old_w))
+            .collect()
+    }
+
+    /// Serial variant of [`Self::on_weight_change`] (used to measure the
+    /// Lemma 13 parallel speedup in the ablation benches).
+    pub fn on_weight_change_serial(
+        &mut self,
+        g: &Graph,
+        weights: &[f64],
+        e: EdgeId,
+        old_w: f64,
+    ) -> Vec<Vec<NodeId>> {
+        self.partitions
+            .iter_mut()
+            .map(|p| p.on_weight_change(g, weights, e, old_w))
+            .collect()
+    }
+
+    /// Approximate distance query in the style of the underlying Das Sarma
+    /// et al. sketch (the base structure of the pyramids, Section II/V-A):
+    /// the estimate is the minimum of `dist(u, s) + dist(s, v)` over every
+    /// partition in which `u` and `v` share a seed `s`.
+    ///
+    /// The estimate never underestimates the true distance (triangle
+    /// inequality) and, with `⌈log₂ n⌉` geometric seed-set sizes per
+    /// pyramid, carries the sketch's `O(log n)`-stretch guarantee with high
+    /// probability. Returns `f64::INFINITY` when no partition joins the
+    /// pair (e.g. different components). Distances are in the index's
+    /// anchored units; `O(k log n)` time.
+    pub fn approx_distance(&self, u: NodeId, v: NodeId) -> f64 {
+        if u == v {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        for p in &self.partitions {
+            if p.same_seed(u, v) {
+                let est = p.dist(u) + p.dist(v);
+                if est < best {
+                    best = est;
+                }
+            }
+        }
+        best
+    }
+
+    /// Absorbs a batched rescale into every partition's stored distances
+    /// (multiplier `1/g`; Lemma 10).
+    pub fn rescale(&mut self, mult: f64) {
+        for p in &mut self.partitions {
+            p.rescale(mult);
+        }
+    }
+
+    /// Total heap bytes used by the index.
+    pub fn memory_bytes(&self) -> usize {
+        self.partitions.iter().map(|p| p.memory_bytes()).sum()
+    }
+
+    /// Checks every partition's invariants against `weights`; returns the
+    /// first violation (testing aid).
+    pub fn check_invariants(&self, g: &Graph, weights: &[f64]) -> Result<(), String> {
+        for p in 0..self.k {
+            for l in 0..self.levels {
+                self.partition(p, l)
+                    .check_invariants(g, weights)
+                    .map_err(|e| format!("pyramid {p} level {l}: {e}"))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anc_graph::gen::{connected_caveman, paper_figure2};
+
+    #[test]
+    fn levels_formula() {
+        assert_eq!(Pyramids::levels_for(2), 1);
+        assert_eq!(Pyramids::levels_for(3), 2);
+        assert_eq!(Pyramids::levels_for(13), 4); // paper Example 3: ⌈log₂ 13⌉ = 4
+        assert_eq!(Pyramids::levels_for(16), 4);
+        assert_eq!(Pyramids::levels_for(17), 5);
+    }
+
+    #[test]
+    fn build_structure_matches_example_3() {
+        let (g, w) = paper_figure2();
+        let pyr = Pyramids::build(&g, &w, 2, 0.7, 42);
+        assert_eq!(pyr.k(), 2);
+        assert_eq!(pyr.num_levels(), 4);
+        // Level l (0-based) has 2^l seeds (paper level l+1 has 2^l).
+        for p in 0..2 {
+            for l in 0..4 {
+                assert_eq!(pyr.partition(p, l).seeds().len(), (1 << l).min(13));
+            }
+        }
+        pyr.check_invariants(&g, &w).unwrap();
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (g, w) = paper_figure2();
+        let a = Pyramids::build(&g, &w, 2, 0.7, 7);
+        let b = Pyramids::build(&g, &w, 2, 0.7, 7);
+        for p in 0..2 {
+            for l in 0..4 {
+                assert_eq!(a.partition(p, l).seeds(), b.partition(p, l).seeds());
+            }
+        }
+        let c = Pyramids::build(&g, &w, 2, 0.7, 8);
+        let same = (0..2).all(|p| {
+            (0..4).all(|l| a.partition(p, l).seeds() == c.partition(p, l).seeds())
+        });
+        assert!(!same, "different seeds must give different samples");
+    }
+
+    #[test]
+    fn voting_thresholds() {
+        // Example 4 arithmetic: k = 2, θ = 0.7 → ⌈1.4⌉ = 2 votes needed.
+        let (g, w) = paper_figure2();
+        let pyr = Pyramids::build(&g, &w, 2, 0.7, 1);
+        assert_eq!(pyr.needed_votes(), 2);
+        for l in 0..pyr.num_levels() {
+            for (_, u, v) in g.iter_edges() {
+                let votes = pyr.votes(u, v, l);
+                assert_eq!(pyr.same_cluster(u, v, l), votes >= 2);
+            }
+        }
+        // Level 0 has a single seed: if the graph is connected, every pair
+        // shares it → all edges vote 1.
+        assert!(g.iter_edges().all(|(_, u, v)| pyr.same_cluster(u, v, 0)));
+    }
+
+    #[test]
+    fn update_matches_rebuild_across_all_partitions() {
+        let lg = connected_caveman(4, 5);
+        let g = &lg.graph;
+        let mut w = vec![1.0; g.m()];
+        let mut pyr = Pyramids::build(g, &w, 3, 0.7, 9);
+        // Apply a few weight changes and verify invariants after each.
+        let changes: &[(usize, f64)] = &[(0, 0.3), (5, 4.0), (0, 2.0), (9, 0.1)];
+        for &(e, new_w) in changes {
+            let old = w[e];
+            w[e] = new_w;
+            pyr.on_weight_change(g, &w, e as EdgeId, old);
+            pyr.check_invariants(g, &w).unwrap();
+        }
+        // Distances equal a fresh build with the same seeds.
+        for p in 0..3 {
+            for l in 0..pyr.num_levels() {
+                let seeds = pyr.partition(p, l).seeds().to_vec();
+                let fresh = VoronoiPartition::build(g, &w, seeds);
+                for v in 0..g.n() as NodeId {
+                    assert!(
+                        (pyr.partition(p, l).dist(v) - fresh.dist(v)).abs() < 1e-9,
+                        "pyramid {p} level {l} node {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_updates_agree() {
+        let lg = connected_caveman(3, 4);
+        let g = &lg.graph;
+        let mut w1 = vec![1.0; g.m()];
+        let mut w2 = vec![1.0; g.m()];
+        let mut a = Pyramids::build(g, &w1, 2, 0.7, 3);
+        let mut b = Pyramids::build(g, &w2, 2, 0.7, 3);
+        for (e, new_w) in [(1usize, 0.2), (4, 3.0), (1, 1.0)] {
+            let old = w1[e];
+            w1[e] = new_w;
+            w2[e] = new_w;
+            a.on_weight_change(g, &w1, e as EdgeId, old);
+            b.on_weight_change_serial(g, &w2, e as EdgeId, old);
+        }
+        for p in 0..2 {
+            for l in 0..a.num_levels() {
+                for v in 0..g.n() as NodeId {
+                    assert_eq!(a.partition(p, l).dist(v), b.partition(p, l).dist(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_level_gives_sqrt_n_seeds() {
+        let (g, w) = paper_figure2(); // n = 13, √13 ≈ 3.6 → level with 4 seeds = l 2
+        let pyr = Pyramids::build(&g, &w, 2, 0.7, 5);
+        assert_eq!(pyr.default_level(), 2);
+    }
+
+    #[test]
+    fn approx_distance_upper_bounds_exact() {
+        let lg = connected_caveman(4, 6);
+        let g = &lg.graph;
+        let w: Vec<f64> = g
+            .iter_edges()
+            .map(|(_, u, v)| if lg.labels[u as usize] == lg.labels[v as usize] { 0.5 } else { 3.0 })
+            .collect();
+        let pyr = Pyramids::build(g, &w, 4, 0.7, 17);
+        for u in (0..g.n() as NodeId).step_by(3) {
+            for v in (0..g.n() as NodeId).step_by(5) {
+                let est = pyr.approx_distance(u, v);
+                let exact = anc_graph::dijkstra::pair_distance(g, u, v, |e| w[e as usize]);
+                if u == v {
+                    assert_eq!(est, 0.0);
+                } else {
+                    assert!(
+                        est >= exact - 1e-9,
+                        "sketch must not underestimate: ({u},{v}) est {est} exact {exact}"
+                    );
+                    // Level 0 has one seed spanning the connected graph, so
+                    // an estimate always exists and is at most 2× the graph
+                    // "radius" through that seed — sanity-bound loosely.
+                    assert!(est.is_finite(), "connected pair must get an estimate");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approx_distance_disconnected_is_infinite() {
+        let g = anc_graph::Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let w = vec![1.0, 1.0];
+        let pyr = Pyramids::build(&g, &w, 2, 0.7, 3);
+        assert!(pyr.approx_distance(0, 2).is_infinite());
+        assert!(pyr.approx_distance(0, 1).is_finite());
+    }
+
+    #[test]
+    fn memory_grows_linearly_with_k() {
+        let lg = connected_caveman(8, 6);
+        let w = vec![1.0; lg.graph.m()];
+        let m2 = Pyramids::build(&lg.graph, &w, 2, 0.7, 1).memory_bytes();
+        let m4 = Pyramids::build(&lg.graph, &w, 4, 0.7, 1).memory_bytes();
+        let ratio = m4 as f64 / m2 as f64;
+        assert!((1.7..=2.3).contains(&ratio), "k scaling ratio {ratio}");
+    }
+}

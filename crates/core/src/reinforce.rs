@@ -1,0 +1,348 @@
+//! Local reinforcement (paper Section IV-B/C): folding an activation's
+//! structural context into the similarity function `S_t`.
+//!
+//! Upon an activation on trigger edge `e(u, v)`, three processes are
+//! evaluated per trigger node (shown for `u`; `v` is symmetric):
+//!
+//! * **Direct consolidation** `AF(e) = F(e) · σ(u,v) / deg(u)` — the
+//!   activation consolidates `u`–`v` proportionally to their active
+//!   similarity, damped by `u`'s degree.
+//! * **Triadic consolidation**
+//!   `TF(e) = Σ_{w ∈ N(u)∩N(v)} √(F(u,w)·F(v,w)) · σ(w,u) / deg(u)` —
+//!   active common friends reinforce the pair.
+//! * **Wedge stretch**
+//!   `WSF(e) = Σ_{w ∈ N(u)\N(v)} F(w,u) · σ(w,u) / deg(u)` — exclusive
+//!   friends pull `u` away.
+//!
+//! The trigger node's type decides the combination (Eqs. 2–4): a **core**
+//! adds `AF + TF`; a **periphery** subtracts `WSF`; a **p-core** applies
+//! `AF + TF − WSF`.
+//!
+//! Everything here operates on *anchored* values: `S_t` is PosM (Lemma 4),
+//! σ is NeuM (Lemma 3), so the anchored update equals the true update up to
+//! the global factor, preserving maintainability.
+
+use anc_graph::{EdgeId, NodeId};
+
+use crate::similarity::{Scratch, SimilarityCtx};
+use crate::NodeType;
+
+/// Parameters consumed by the reinforcement step.
+#[derive(Clone, Copy, Debug)]
+pub struct ReinforceParams {
+    /// Active-neighbor threshold ε.
+    pub epsilon: f64,
+    /// Core threshold µ.
+    pub mu: usize,
+    /// Lower clamp for the **anchored** similarity after the update (the
+    /// engine passes `floor × boost` so the clamp is on the true value).
+    pub floor_anchored: f64,
+}
+
+/// The three process values for one trigger node, exposed for tests and the
+/// ablation harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Processes {
+    /// Direct consolidation.
+    pub af: f64,
+    /// Triadic consolidation.
+    pub tf: f64,
+    /// Wedge stretch.
+    pub wsf: f64,
+}
+
+impl Processes {
+    /// The signed contribution to `ΔF(e)` under the trigger node's type
+    /// (Eqs. 2–4).
+    pub fn delta(&self, node_type: NodeType) -> f64 {
+        match node_type {
+            NodeType::Core => self.af + self.tf,
+            NodeType::Periphery => -self.wsf,
+            NodeType::PCore => self.af + self.tf - self.wsf,
+        }
+    }
+}
+
+/// Computes the three processes for trigger node `u` of edge `e(u, v)`.
+///
+/// Requires `scratch.sigmas` to hold `sigma_all(u)` output (σ(u, w) aligned
+/// with `g.edges_of(u)`), and marks `N(v)` itself.
+fn processes_for(
+    ctx: &SimilarityCtx<'_>,
+    sim: &[f64],
+    e: EdgeId,
+    u: NodeId,
+    v: NodeId,
+    sigmas_u: &[f64],
+    scratch: &mut Scratch,
+) -> Processes {
+    let g = ctx.g;
+    let deg_u = g.degree(u) as f64;
+    debug_assert!(deg_u >= 1.0, "trigger node must have the trigger edge");
+
+    // Mark N(v), remembering F(v, x) for triadic lookups.
+    let stamp_v = scratch.mark_neighbors(g, v, |e_vx| sim[e_vx as usize]);
+
+    let mut p = Processes::default();
+    for (slot, (w, e_uw)) in g.edges_of(u).enumerate() {
+        let sigma_uw = sigmas_u[slot];
+        if w == v {
+            // Direct consolidation uses σ(u, v) = σ of the trigger edge.
+            p.af = sim[e as usize] * sigma_uw / deg_u;
+            continue;
+        }
+        if scratch.marked(w, stamp_v) {
+            // w ∈ N(u) ∩ N(v): triadic consolidation.
+            let f_uw = sim[e_uw as usize];
+            let f_vw = scratch.value(w);
+            p.tf += (f_uw * f_vw).sqrt() * sigma_uw / deg_u;
+        } else {
+            // w ∈ N(u) \ N(v): wedge stretch.
+            p.wsf += sim[e_uw as usize] * sigma_uw / deg_u;
+        }
+    }
+    p
+}
+
+/// Outcome of one local-reinforcement application.
+#[derive(Clone, Copy, Debug)]
+pub struct ReinforceOutcome {
+    /// Anchored similarity before.
+    pub old_sim: f64,
+    /// Anchored similarity after (clamped to the floor).
+    pub new_sim: f64,
+    /// Classification of trigger node `u`.
+    pub type_u: NodeType,
+    /// Classification of trigger node `v`.
+    pub type_v: NodeType,
+    /// Processes evaluated at `u`.
+    pub proc_u: Processes,
+    /// Processes evaluated at `v`.
+    pub proc_v: Processes,
+}
+
+/// Applies one local reinforcement with trigger edge `e` to the anchored
+/// similarity array `sim`, reading activeness through `ctx`.
+///
+/// Both trigger-node deltas are evaluated against the pre-update state and
+/// applied together, making the update symmetric in `u`/`v` and independent
+/// of endpoint order. Cost: `O(Σ_{w ∈ N(u)} deg w + Σ_{w ∈ N(v)} deg w)`.
+pub fn apply_reinforcement(
+    ctx: &SimilarityCtx<'_>,
+    sim: &mut [f64],
+    e: EdgeId,
+    params: &ReinforceParams,
+    scratch: &mut Scratch,
+) -> ReinforceOutcome {
+    let (u, v) = ctx.g.endpoints(e);
+
+    // σ(u, ·) over all of u's neighbors; also yields u's classification.
+    ctx.sigma_all(u, scratch);
+    let sigmas_u = std::mem::take(&mut scratch.sigmas);
+    let type_u = ctx.node_type_from_sigmas(u, params.epsilon, params.mu, &sigmas_u);
+
+    ctx.sigma_all(v, scratch);
+    let sigmas_v = std::mem::take(&mut scratch.sigmas);
+    let type_v = ctx.node_type_from_sigmas(v, params.epsilon, params.mu, &sigmas_v);
+
+    let proc_u = processes_for(ctx, sim, e, u, v, &sigmas_u, scratch);
+    let proc_v = processes_for(ctx, sim, e, v, u, &sigmas_v, scratch);
+
+    // Return the sigma buffers for reuse.
+    scratch.sigmas = sigmas_u;
+
+    let old_sim = sim[e as usize];
+    let delta = proc_u.delta(type_u) + proc_v.delta(type_v);
+    let mut new_sim = old_sim + delta;
+    if !new_sim.is_finite() || new_sim < params.floor_anchored {
+        new_sim = params.floor_anchored;
+    }
+    sim[e as usize] = new_sim;
+
+    ReinforceOutcome { old_sim, new_sim, type_u, type_v, proc_u, proc_v }
+}
+
+/// Runs one full-graph reinforcement pass: every edge is treated as a
+/// trigger once, in edge-id order (the paper's `S_0` initialization appends
+/// "activations over all edges in E (in arbitrary order)" per repetition).
+///
+/// After the pass the similarity vector is renormalized to mean 1. The
+/// reinforcement update is 1-homogeneous in `F` (AF, TF and WSF are all
+/// linear in the similarity vector), so repeated passes grow `F`
+/// exponentially; since every consumer of `S_t` (the distance metric, the
+/// Voronoi partitions, the voting) is invariant under uniform scaling —
+/// the same property the global decay factor relies on — the
+/// renormalization is unobservable except that it keeps the floor clamp
+/// from artificially severing edges after many repetitions.
+pub fn full_pass(
+    ctx: &SimilarityCtx<'_>,
+    sim: &mut [f64],
+    params: &ReinforceParams,
+    scratch: &mut Scratch,
+) {
+    for e in 0..ctx.g.m() as EdgeId {
+        apply_reinforcement(ctx, sim, e, params, scratch);
+    }
+    let mean = sim.iter().sum::<f64>() / sim.len().max(1) as f64;
+    if mean.is_finite() && mean > 0.0 {
+        for s in sim.iter_mut() {
+            *s = (*s / mean).max(params.floor_anchored);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anc_graph::Graph;
+
+    fn ctx_fixture() -> (Graph, Vec<f64>, Vec<f64>) {
+        // Two triangles sharing edge (1,2), plus a pendant 4 on node 1:
+        // 0-1, 0-2, 1-2, 1-3, 2-3, 1-4.
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (1, 4)]);
+        let act = vec![1.0; g.m()];
+        let mut node_sum = vec![0.0; g.n()];
+        for (e, u, v) in g.iter_edges() {
+            node_sum[u as usize] += act[e as usize];
+            node_sum[v as usize] += act[e as usize];
+        }
+        (g, act, node_sum)
+    }
+
+    const PARAMS: ReinforceParams =
+        ReinforceParams { epsilon: 0.2, mu: 2, floor_anchored: 1e-9 };
+
+    #[test]
+    fn hand_computed_processes() {
+        let (g, act, node_sum) = ctx_fixture();
+        let ctx = SimilarityCtx { g: &g, act: &act, node_sum: &node_sum };
+        let sim = vec![1.0; g.m()];
+        let mut scratch = Scratch::new(g.n());
+        let e = g.edge_id(1, 2).unwrap();
+
+        // For trigger node 1 (deg 4): σ(1,2) = num/den with common {0,3},
+        // num = (a(1,0)+a(2,0)) + (a(1,3)+a(2,3)) = 4, den = A(1)+A(2) = 4+3 = 7.
+        // AF = F(e)·σ(1,2)/4 = (4/7)/4 = 1/7.
+        // Common neighbors of 1 and 2: {0, 3}:
+        //   σ(1,0): common {2}; num = a(1,2)+a(0,2) = 2; den = 4+2 = 6 → 1/3.
+        //   σ(1,3): common {2}; num = 2; den = 4+2 = 6 → 1/3.
+        //   TF = √(1·1)·(1/3)/4 + √(1·1)·(1/3)/4 = 1/6.
+        // Exclusive neighbor of 1 wrt 2: {4}: σ(1,4) = 0 (no common) →
+        //   WSF = 1·0/4 = 0.
+        ctx.sigma_all(1, &mut scratch);
+        let sigmas_u = scratch.sigmas.clone();
+        let p = processes_for(&ctx, &sim, e, 1, 2, &sigmas_u, &mut scratch);
+        assert!((p.af - 1.0 / 7.0).abs() < 1e-12, "af = {}", p.af);
+        assert!((p.tf - 1.0 / 6.0).abs() < 1e-12, "tf = {}", p.tf);
+        assert!(p.wsf.abs() < 1e-12, "wsf = {}", p.wsf);
+    }
+
+    #[test]
+    fn delta_by_node_type() {
+        let p = Processes { af: 0.3, tf: 0.2, wsf: 0.1 };
+        assert!((p.delta(NodeType::Core) - 0.5).abs() < 1e-12);
+        assert!((p.delta(NodeType::Periphery) + 0.1).abs() < 1e-12);
+        assert!((p.delta(NodeType::PCore) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reinforcement_strengthens_triangle_edge() {
+        let (g, act, node_sum) = ctx_fixture();
+        let ctx = SimilarityCtx { g: &g, act: &act, node_sum: &node_sum };
+        let mut sim = vec![1.0; g.m()];
+        let mut scratch = Scratch::new(g.n());
+        let e = g.edge_id(1, 2).unwrap();
+        let out = apply_reinforcement(&ctx, &mut sim, e, &PARAMS, &mut scratch);
+        assert!(out.new_sim > out.old_sim, "shared triangle edge must strengthen");
+        assert_eq!(sim[e as usize], out.new_sim);
+        // Only the trigger edge changes.
+        for (i, &value) in sim.iter().enumerate() {
+            if i != e as usize {
+                assert_eq!(value, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn pendant_edge_weakens() {
+        let (g, act, node_sum) = ctx_fixture();
+        let ctx = SimilarityCtx { g: &g, act: &act, node_sum: &node_sum };
+        let mut sim = vec![1.0; g.m()];
+        let mut scratch = Scratch::new(g.n());
+        // Edge (1,4): σ(1,4) = 0 → AF = TF = 0 for both. With µ = 5 both
+        // endpoints are peripheries (deg 4 and 1 < 5); node 1 has exclusive
+        // neighbors with positive σ → wedge stretch reduces F (Eq. 3).
+        let params = ReinforceParams { mu: 5, ..PARAMS };
+        let e = g.edge_id(1, 4).unwrap();
+        let out = apply_reinforcement(&ctx, &mut sim, e, &params, &mut scratch);
+        assert_eq!(out.type_u, NodeType::Periphery);
+        assert_eq!(out.type_v, NodeType::Periphery);
+        assert!(out.proc_u.wsf > 0.0);
+        assert!(out.new_sim < out.old_sim, "pendant edge must weaken");
+    }
+
+    #[test]
+    fn floor_clamps() {
+        let (g, act, node_sum) = ctx_fixture();
+        let ctx = SimilarityCtx { g: &g, act: &act, node_sum: &node_sum };
+        // Tiny starting similarity on the pendant edge with a big floor margin:
+        // repeated weakening must never cross the floor.
+        let params = ReinforceParams { mu: 5, ..PARAMS }; // both ends periphery
+        let mut sim = vec![1.0; g.m()];
+        let e = g.edge_id(1, 4).unwrap();
+        sim[e as usize] = 2e-9;
+        let mut scratch = Scratch::new(g.n());
+        for _ in 0..50 {
+            apply_reinforcement(&ctx, &mut sim, e, &params, &mut scratch);
+        }
+        assert!(sim[e as usize] >= params.floor_anchored);
+        assert_eq!(sim[e as usize], params.floor_anchored, "weakening must clamp at floor");
+    }
+
+    #[test]
+    fn symmetric_in_endpoint_order() {
+        // The outcome must not depend on which endpoint is canonical-first:
+        // process deltas are computed from pre-state for both nodes.
+        let (g, act, node_sum) = ctx_fixture();
+        let ctx = SimilarityCtx { g: &g, act: &act, node_sum: &node_sum };
+        let mut scratch = Scratch::new(g.n());
+        let e = g.edge_id(1, 2).unwrap();
+        let sim0 = vec![1.0; g.m()];
+
+        let mut s1 = sim0.clone();
+        let out = apply_reinforcement(&ctx, &mut s1, e, &PARAMS, &mut scratch);
+        // Recompute by hand swapping roles: delta = proc_u.delta + proc_v.delta
+        // must equal out regardless of who is "u".
+        let du = out.proc_u.delta(out.type_u);
+        let dv = out.proc_v.delta(out.type_v);
+        assert!((out.new_sim - (out.old_sim + du + dv)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_pass_polarizes_bridge_vs_intra() {
+        // Two 4-cliques joined by one bridge; after a few passes the bridge
+        // similarity must be well below intra-clique similarities.
+        let lg = anc_graph::gen::connected_caveman(2, 4);
+        let g = &lg.graph;
+        let act = vec![1.0; g.m()];
+        let mut node_sum = vec![0.0; g.n()];
+        for (e, u, v) in g.iter_edges() {
+            node_sum[u as usize] += act[e as usize];
+            node_sum[v as usize] += act[e as usize];
+        }
+        let ctx = SimilarityCtx { g, act: &act, node_sum: &node_sum };
+        let mut sim = vec![1.0; g.m()];
+        let mut scratch = Scratch::new(g.n());
+        for _ in 0..3 {
+            full_pass(&ctx, &mut sim, &PARAMS, &mut scratch);
+        }
+        let bridge = g.edge_id(3, 4).unwrap();
+        let intra = g.edge_id(0, 1).unwrap();
+        assert!(
+            sim[intra as usize] > 3.0 * sim[bridge as usize],
+            "intra {} vs bridge {}",
+            sim[intra as usize],
+            sim[bridge as usize]
+        );
+    }
+}

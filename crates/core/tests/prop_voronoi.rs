@@ -1,0 +1,120 @@
+//! Property tests for the incremental Voronoi-partition updates
+//! (Algorithms 1–3): after *any* sequence of positive weight changes, the
+//! incrementally maintained partition must satisfy all shortest-path
+//! invariants and agree in distances with a from-scratch rebuild.
+
+use anc_core::voronoi::VoronoiPartition;
+use anc_graph::gen::{connected_caveman, erdos_renyi};
+use anc_graph::{EdgeId, NodeId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct UpdatePlan {
+    graph_seed: u64,
+    seed_count: usize,
+    /// (edge index selector, new weight) pairs.
+    changes: Vec<(usize, f64)>,
+}
+
+fn plan_strategy() -> impl Strategy<Value = UpdatePlan> {
+    // Weights are drawn as 10^u with u ∈ [-4, 4]: the extreme dynamic range
+    // exercises the float-absorption path in Probe (a parent improvement can
+    // round to exactly the child's stored distance), which once produced
+    // stale-seed corruption.
+    (
+        0u64..64,
+        1usize..6,
+        prop::collection::vec((0usize..10_000, -4.0f64..4.0), 1..24),
+    )
+        .prop_map(|(graph_seed, seed_count, changes)| UpdatePlan {
+            graph_seed,
+            seed_count,
+            changes: changes
+                .into_iter()
+                .map(|(sel, exp)| (sel, 10f64.powf(exp)))
+                .collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ER graphs: arbitrary update sequences keep invariants and match a
+    /// rebuild.
+    #[test]
+    fn er_updates_match_rebuild(plan in plan_strategy()) {
+        let g = erdos_renyi(30, 60, plan.graph_seed);
+        if g.m() == 0 { return Ok(()); }
+        let n = g.n();
+        let seeds: Vec<NodeId> = (0..plan.seed_count.min(n))
+            .map(|i| ((i * 997 + plan.graph_seed as usize) % n) as NodeId)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let mut w = vec![1.0f64; g.m()];
+        let mut p = VoronoiPartition::build(&g, &w, seeds.clone());
+        for &(sel, new_w) in &plan.changes {
+            let e = (sel % g.m()) as EdgeId;
+            let old = w[e as usize];
+            w[e as usize] = new_w;
+            p.on_weight_change(&g, &w, e, old);
+            prop_assert!(p.check_invariants(&g, &w).is_ok(),
+                "invariants: {:?}", p.check_invariants(&g, &w));
+        }
+        let fresh = VoronoiPartition::build(&g, &w, seeds);
+        for v in 0..n as NodeId {
+            let (a, b) = (p.dist(v), fresh.dist(v));
+            if a.is_finite() || b.is_finite() {
+                prop_assert!((a - b).abs() < 1e-7 * (1.0 + b.abs()),
+                    "node {} live {} rebuild {}", v, a, b);
+            }
+        }
+    }
+
+    /// Caveman graphs (strong cluster structure, bridges): same property.
+    #[test]
+    fn caveman_updates_match_rebuild(plan in plan_strategy()) {
+        let lg = connected_caveman(4, 5);
+        let g = &lg.graph;
+        let n = g.n();
+        let seeds: Vec<NodeId> = (0..plan.seed_count.min(n))
+            .map(|i| ((i * 7 + 1) % n) as NodeId)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let mut w = vec![1.0f64; g.m()];
+        let mut p = VoronoiPartition::build(g, &w, seeds.clone());
+        for &(sel, new_w) in &plan.changes {
+            let e = (sel % g.m()) as EdgeId;
+            let old = w[e as usize];
+            w[e as usize] = new_w;
+            p.on_weight_change(g, &w, e, old);
+        }
+        prop_assert!(p.check_invariants(g, &w).is_ok());
+        let fresh = VoronoiPartition::build(g, &w, seeds);
+        for v in 0..n as NodeId {
+            prop_assert!((p.dist(v) - fresh.dist(v)).abs() < 1e-7 * (1.0 + fresh.dist(v).abs()));
+        }
+    }
+
+    /// Weight changes far from the seeds leave seed distances untouched
+    /// (locality, Lemma 11/12 flavor).
+    #[test]
+    fn seeds_never_move(plan in plan_strategy()) {
+        let g = erdos_renyi(25, 50, plan.graph_seed ^ 0xabc);
+        if g.m() == 0 { return Ok(()); }
+        let seeds: Vec<NodeId> = vec![0, (g.n() / 2) as NodeId];
+        let mut w = vec![1.0f64; g.m()];
+        let mut p = VoronoiPartition::build(&g, &w, seeds.clone());
+        for &(sel, new_w) in &plan.changes {
+            let e = (sel % g.m()) as EdgeId;
+            let old = w[e as usize];
+            w[e as usize] = new_w;
+            p.on_weight_change(&g, &w, e, old);
+            for &s in &seeds {
+                prop_assert_eq!(p.dist(s), 0.0);
+                prop_assert_eq!(p.seed_of(s), s);
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # anc-data
+//!
+//! Datasets and activation streams for the experiments.
+//!
+//! The paper evaluates on 17 real graphs (Table I). Real downloads are not
+//! available offline, so [`registry`] provides deterministic synthetic
+//! stand-ins with matched names and (laptop-scaled) sizes, generated as
+//! planted-partition community graphs whose density mirrors each original
+//! (DESIGN.md §3 documents the substitution).
+//!
+//! [`stream`] generates the activation workloads of Section VI:
+//! uniform 5%-of-edges-per-timestep streams (Exp 2), community-biased
+//! streams, the bursty per-minute day trace of Figure 9, and the
+//! query/activation mixed workloads of Figure 10.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod stream;
+pub mod trace;
+
+pub use registry::{by_name, Dataset, DatasetSpec, ALL};
+pub use stream::{ActivationStream, Batch, WorkItem, Workload};
+pub use trace::{read_trace, write_trace, TraceError};

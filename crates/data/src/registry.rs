@@ -1,0 +1,193 @@
+//! The dataset registry: synthetic stand-ins for the paper's Table I.
+//!
+//! Each entry mirrors one of the paper's datasets. Small and mid-size graphs
+//! keep their original vertex counts; the web-scale graphs (EA and larger)
+//! are scaled down to laptop size while preserving their *relative* ordering
+//! and density class, which is what the efficiency experiments exercise.
+
+use anc_graph::gen::{planted_partition, LabeledGraph, PlantedConfig};
+use anc_graph::Graph;
+
+/// Broad dataset category from the paper's Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Social networks (CO, FB, MI, LA, GI, YT, OK, LJ, TW2, TW).
+    Social,
+    /// Collaboration networks (CA, CM, DB, DB2).
+    Collaboration,
+    /// Email networks (IE, EA).
+    Email,
+    /// Product co-purchase (AM).
+    Product,
+}
+
+/// Static description of a registry entry.
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Short name from Table I (e.g. "CO", "FB").
+    pub name: &'static str,
+    /// The real dataset this stands in for.
+    pub stands_for: &'static str,
+    /// Category.
+    pub kind: Kind,
+    /// Vertex count of the original dataset.
+    pub original_n: usize,
+    /// Edge count of the original dataset.
+    pub original_m: usize,
+    /// Vertex count of the synthetic stand-in.
+    pub n: usize,
+    /// Number of planted communities.
+    pub communities: usize,
+    /// Expected intra-community degree.
+    pub avg_intra_degree: f64,
+    /// Mixing parameter μ.
+    pub mixing: f64,
+}
+
+impl DatasetSpec {
+    /// Generates the synthetic graph (deterministic in `seed`).
+    pub fn materialize(&self, seed: u64) -> Dataset {
+        self.materialize_scaled(seed, 1.0)
+    }
+
+    /// Generates a size-scaled variant: node and community counts multiply
+    /// by `factor` (density preserved). Used by the experiment harness to
+    /// trade fidelity for wall-clock (`--scale` flag).
+    pub fn materialize_scaled(&self, seed: u64, factor: f64) -> Dataset {
+        assert!(factor > 0.0);
+        let n = ((self.n as f64 * factor).round() as usize).max(16);
+        let communities = ((self.communities as f64 * factor).round() as usize).clamp(2, n / 2);
+        let cfg = PlantedConfig {
+            n,
+            communities,
+            avg_intra_degree: self.avg_intra_degree,
+            mixing: self.mixing,
+            size_exponent: 2.0,
+        };
+        let LabeledGraph { graph, labels } = planted_partition(&cfg, seed ^ fxhash(self.name));
+        let mut spec = self.clone();
+        spec.n = n;
+        spec.communities = communities;
+        Dataset { spec, graph, labels }
+    }
+}
+
+/// A materialized dataset: the graph plus its planted ground truth.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// The registry entry this was generated from.
+    pub spec: DatasetSpec,
+    /// The relation network.
+    pub graph: Graph,
+    /// Planted ground-truth community of each node.
+    pub labels: Vec<u32>,
+}
+
+/// Cheap deterministic string hash so each dataset gets a distinct but
+/// reproducible generator stream for the same user seed.
+fn fxhash(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+macro_rules! spec {
+    ($name:literal, $orig:literal, $kind:expr, $on:literal, $om:literal,
+     $n:literal, $c:literal, $deg:literal, $mix:literal) => {
+        DatasetSpec {
+            name: $name,
+            stands_for: $orig,
+            kind: $kind,
+            original_n: $on,
+            original_m: $om,
+            n: $n,
+            communities: $c,
+            avg_intra_degree: $deg,
+            mixing: $mix,
+        }
+    };
+}
+
+/// The full registry, mirroring Table I. Ordered as in the paper.
+///
+/// Community counts for LA/DB/AM/YT reflect the paper's ground-truth counts
+/// (18 / 11187 / 11941 / 3337), scaled proportionally where the graph is
+/// scaled. Densities (`avg_intra_degree`) track each original's `2m/n`.
+pub static ALL: &[DatasetSpec] = &[
+    spec!("CO", "CollegeMsg", Kind::Social, 1893, 13835, 1893, 87, 11.0, 0.25),
+    spec!("FB", "fb-combine", Kind::Social, 4039, 88234, 4039, 127, 35.0, 0.20),
+    spec!("CA", "ca-GrQc", Kind::Collaboration, 4158, 13422, 4158, 129, 5.2, 0.20),
+    spec!("MI", "socfb-MIT", Kind::Social, 6402, 251230, 6402, 160, 62.0, 0.20),
+    spec!("LA", "lasftm-asia", Kind::Social, 7624, 27806, 7624, 18, 5.8, 0.20),
+    spec!("CM", "ca-CondMat", Kind::Collaboration, 21363, 91286, 21363, 290, 6.8, 0.20),
+    spec!("IE", "ia-email-eu", Kind::Email, 32430, 54397, 32430, 360, 2.7, 0.20),
+    spec!("GI", "git-web-ml", Kind::Social, 37770, 289003, 37770, 390, 12.2, 0.25),
+    spec!("EA", "email-EuAll", Kind::Email, 224832, 339925, 60000, 490, 2.4, 0.25),
+    spec!("DB", "dblp", Kind::Collaboration, 317080, 1049866, 80000, 2800, 5.3, 0.20),
+    spec!("AM", "amazon", Kind::Product, 334863, 925872, 80000, 2850, 4.4, 0.20),
+    spec!("YT", "youtube", Kind::Social, 1134890, 2987624, 100000, 660, 4.2, 0.30),
+    spec!("DB2", "dblp-2020", Kind::Collaboration, 2617981, 14796582, 120000, 3500, 9.0, 0.20),
+    spec!("OK", "orkut", Kind::Social, 3072441, 117185083, 50000, 450, 61.0, 0.25),
+    spec!("LJ", "lj", Kind::Social, 3997962, 34681189, 150000, 770, 13.9, 0.25),
+    spec!("TW2", "twitter", Kind::Social, 4713138, 17610953, 150000, 770, 6.0, 0.30),
+    spec!("TW", "twitter-rv", Kind::Social, 41652230, 1202513046, 200000, 890, 46.0, 0.30),
+];
+
+/// Looks up a registry entry by its Table I short name (case-insensitive).
+pub fn by_name(name: &str) -> Option<&'static DatasetSpec> {
+    ALL.iter().find(|s| s.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup() {
+        assert!(by_name("CO").is_some());
+        assert!(by_name("co").is_some());
+        assert!(by_name("nope").is_none());
+        assert_eq!(ALL.len(), 17);
+    }
+
+    #[test]
+    fn materialize_small_matches_spec() {
+        let ds = by_name("CO").unwrap().materialize(1);
+        assert_eq!(ds.graph.n(), 1893);
+        assert_eq!(ds.labels.len(), 1893);
+        // Density should be in the ballpark of the original (within 2x).
+        let target_deg = 2.0 * 13835.0 / 1893.0;
+        let got_deg = 2.0 * ds.graph.m() as f64 / ds.graph.n() as f64;
+        assert!(
+            got_deg > target_deg / 2.0 && got_deg < target_deg * 2.0,
+            "CO degree {got_deg} vs target {target_deg}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed_distinct_per_name() {
+        let a1 = by_name("CA").unwrap().materialize(7);
+        let a2 = by_name("CA").unwrap().materialize(7);
+        assert_eq!(a1.graph.m(), a2.graph.m());
+        assert_eq!(a1.labels, a2.labels);
+        let b = by_name("CO").unwrap().materialize(7);
+        assert_ne!(a1.graph.n(), b.graph.n());
+    }
+
+    #[test]
+    fn la_has_18_ground_truth_communities() {
+        let ds = by_name("LA").unwrap().materialize(3);
+        let k = ds.labels.iter().copied().max().unwrap() + 1;
+        assert_eq!(k, 18);
+    }
+
+    #[test]
+    fn scaled_entries_are_laptop_size() {
+        for spec in ALL {
+            assert!(spec.n <= 200_000, "{} too large for laptop runs", spec.name);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Activation-stream and workload generators (Section VI's experiment
+//! drivers).
+
+use anc_graph::{EdgeId, Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One timestep's worth of activations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Batch {
+    /// Arrival time of every activation in this batch.
+    pub time: f64,
+    /// Activated edges (duplicates allowed: an edge may be activated several
+    /// times within a batch, each counting per Eq. 1).
+    pub edges: Vec<EdgeId>,
+}
+
+/// An ordered sequence of activation batches.
+#[derive(Clone, Debug, Default)]
+pub struct ActivationStream {
+    /// Batches in non-decreasing time order.
+    pub batches: Vec<Batch>,
+}
+
+impl ActivationStream {
+    /// Total number of activations across all batches.
+    pub fn total_activations(&self) -> usize {
+        self.batches.iter().map(|b| b.edges.len()).sum()
+    }
+
+    /// Iterates `(time, edge)` pairs in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, EdgeId)> + '_ {
+        self.batches
+            .iter()
+            .flat_map(|b| b.edges.iter().map(move |&e| (b.time, e)))
+    }
+}
+
+/// The paper's Exp 2 stream: timestamps `1..=steps`, each activating a
+/// uniform random `frac` of the edges (default 5%).
+pub fn uniform_per_step(g: &Graph, steps: usize, frac: f64, seed: u64) -> ActivationStream {
+    assert!((0.0..=1.0).contains(&frac));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let m = g.m();
+    let per_step = ((m as f64) * frac).round().max(1.0) as usize;
+    let mut all: Vec<EdgeId> = (0..m as EdgeId).collect();
+    let mut batches = Vec::with_capacity(steps);
+    for t in 1..=steps {
+        all.shuffle(&mut rng);
+        batches.push(Batch { time: t as f64, edges: all[..per_step.min(m)].to_vec() });
+    }
+    ActivationStream { batches }
+}
+
+/// A community-biased stream: intra-community edges are `bias`× more likely
+/// to be activated than cross edges. Models the paper's motivating scenario
+/// (users interact mostly inside their active community), sharpening the
+/// temporal cluster signal.
+pub fn community_biased(
+    g: &Graph,
+    labels: &[u32],
+    steps: usize,
+    frac: f64,
+    bias: f64,
+    seed: u64,
+) -> ActivationStream {
+    assert!(bias >= 1.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let m = g.m();
+    let per_step = ((m as f64) * frac).round().max(1.0) as usize;
+    // Weighted sampling via an expanded pool: intra edges appear `bias`
+    // (rounded) times, inter edges once.
+    let mut pool: Vec<EdgeId> = Vec::with_capacity(m * bias as usize);
+    for (e, u, v) in g.iter_edges() {
+        let copies = if labels[u as usize] == labels[v as usize] {
+            bias.round() as usize
+        } else {
+            1
+        };
+        pool.extend(std::iter::repeat_n(e, copies));
+    }
+    let mut batches = Vec::with_capacity(steps);
+    for t in 1..=steps {
+        let edges: Vec<EdgeId> =
+            (0..per_step.min(m)).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+        batches.push(Batch { time: t as f64, edges });
+    }
+    ActivationStream { batches }
+}
+
+/// The Figure 9 day trace: 1440 per-minute batches with a log-normal base
+/// rate and occasional Poisson-like bursts (`burst_prob` chance of a batch
+/// being inflated by `burst_mult`).
+pub fn bursty_day(
+    g: &Graph,
+    base_rate: usize,
+    burst_prob: f64,
+    burst_mult: f64,
+    seed: u64,
+) -> ActivationStream {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let m = g.m() as EdgeId;
+    let mut batches = Vec::with_capacity(1440);
+    for minute in 0..1440usize {
+        // Log-normal-ish multiplicative noise around the base rate.
+        let noise: f64 = {
+            let u: f64 = rng.gen_range(-1.0..1.0);
+            (0.5 * u).exp()
+        };
+        let mut count = ((base_rate as f64) * noise).round().max(1.0) as usize;
+        if rng.gen_bool(burst_prob) {
+            count = ((count as f64) * burst_mult) as usize;
+        }
+        let edges: Vec<EdgeId> = (0..count).map(|_| rng.gen_range(0..m)).collect();
+        batches.push(Batch { time: minute as f64, edges });
+    }
+    ActivationStream { batches }
+}
+
+/// One item of a mixed query/update workload (Figure 10).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WorkItem {
+    /// Apply an activation to this edge.
+    Activate(EdgeId),
+    /// Report the local cluster of this node.
+    Query(NodeId),
+}
+
+/// A mixed workload: per-batch lists of activations and local-cluster
+/// queries, as in Figure 10 where 1%–32% of real activations are replaced by
+/// queries on a uniformly random endpoint of the replaced edge.
+#[derive(Clone, Debug, Default)]
+pub struct Workload {
+    /// Batches of `(time, items)`.
+    pub batches: Vec<(f64, Vec<WorkItem>)>,
+}
+
+impl Workload {
+    /// Builds a workload from an activation stream by replacing
+    /// `query_frac` of activations with local-cluster queries on one of the
+    /// replaced edge's endpoints.
+    pub fn from_stream(
+        g: &Graph,
+        stream: &ActivationStream,
+        query_frac: f64,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&query_frac));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut batches = Vec::with_capacity(stream.batches.len());
+        for b in &stream.batches {
+            let items = b
+                .edges
+                .iter()
+                .map(|&e| {
+                    if rng.gen_bool(query_frac) {
+                        let (u, v) = g.endpoints(e);
+                        WorkItem::Query(if rng.gen_bool(0.5) { u } else { v })
+                    } else {
+                        WorkItem::Activate(e)
+                    }
+                })
+                .collect();
+            batches.push((b.time, items));
+        }
+        Self { batches }
+    }
+
+    /// Counts `(activations, queries)` across all batches.
+    pub fn counts(&self) -> (usize, usize) {
+        let mut a = 0;
+        let mut q = 0;
+        for (_, items) in &self.batches {
+            for it in items {
+                match it {
+                    WorkItem::Activate(_) => a += 1,
+                    WorkItem::Query(_) => q += 1,
+                }
+            }
+        }
+        (a, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anc_graph::gen::{connected_caveman, erdos_renyi};
+
+    #[test]
+    fn uniform_stream_shape() {
+        let g = erdos_renyi(100, 400, 1);
+        let s = uniform_per_step(&g, 10, 0.05, 2);
+        assert_eq!(s.batches.len(), 10);
+        for (i, b) in s.batches.iter().enumerate() {
+            assert_eq!(b.time, (i + 1) as f64);
+            assert_eq!(b.edges.len(), 20); // 5% of 400
+            assert!(b.edges.iter().all(|&e| (e as usize) < g.m()));
+        }
+        assert_eq!(s.total_activations(), 200);
+    }
+
+    #[test]
+    fn uniform_stream_no_duplicates_within_batch() {
+        let g = erdos_renyi(50, 200, 3);
+        let s = uniform_per_step(&g, 5, 0.1, 4);
+        for b in &s.batches {
+            let mut e = b.edges.clone();
+            e.sort_unstable();
+            e.dedup();
+            assert_eq!(e.len(), b.edges.len());
+        }
+    }
+
+    #[test]
+    fn community_bias_prefers_intra() {
+        let lg = connected_caveman(10, 10);
+        let s = community_biased(&lg.graph, &lg.labels, 20, 0.2, 8.0, 5);
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for (_, e) in s.iter() {
+            let (u, v) = lg.graph.endpoints(e);
+            if lg.labels[u as usize] == lg.labels[v as usize] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        // Caveman has ~45 intra edges per clique × 10 vs 9 bridges; with 8×
+        // bias, intra should dominate overwhelmingly.
+        assert!(intra > 20 * inter.max(1), "intra {intra} inter {inter}");
+    }
+
+    #[test]
+    fn day_trace_has_1440_minutes_and_bursts() {
+        let g = erdos_renyi(200, 800, 6);
+        let s = bursty_day(&g, 50, 0.05, 10.0, 7);
+        assert_eq!(s.batches.len(), 1440);
+        let sizes: Vec<usize> = s.batches.iter().map(|b| b.edges.len()).collect();
+        let max = *sizes.iter().max().unwrap();
+        let median = {
+            let mut s = sizes.clone();
+            s.sort_unstable();
+            s[s.len() / 2]
+        };
+        assert!(max >= 4 * median, "expected bursts: max {max}, median {median}");
+    }
+
+    #[test]
+    fn workload_replacement_fraction() {
+        let g = erdos_renyi(100, 500, 8);
+        let s = uniform_per_step(&g, 50, 0.2, 9);
+        let w = Workload::from_stream(&g, &s, 0.3, 10);
+        let (a, q) = w.counts();
+        assert_eq!(a + q, s.total_activations());
+        let frac = q as f64 / (a + q) as f64;
+        assert!((frac - 0.3).abs() < 0.05, "query fraction {frac}");
+    }
+
+    #[test]
+    fn workload_zero_and_full() {
+        let g = erdos_renyi(50, 100, 11);
+        let s = uniform_per_step(&g, 5, 0.1, 12);
+        let (a0, q0) = Workload::from_stream(&g, &s, 0.0, 1).counts();
+        assert_eq!(q0, 0);
+        assert_eq!(a0, s.total_activations());
+        let (a1, q1) = Workload::from_stream(&g, &s, 1.0, 1).counts();
+        assert_eq!(a1, 0);
+        assert_eq!(q1, s.total_activations());
+    }
+}

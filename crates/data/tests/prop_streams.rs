@@ -1,0 +1,91 @@
+//! Property tests for the activation-stream and workload generators.
+
+use anc_data::{registry, stream, WorkItem, Workload};
+use anc_graph::gen::erdos_renyi;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Uniform streams: correct batch count, in-range edges, exact per-step
+    /// size, monotone timestamps, determinism.
+    #[test]
+    fn uniform_stream_contract(
+        steps in 1usize..40,
+        frac in 0.01f64..0.5,
+        seed in 0u64..32,
+    ) {
+        let g = erdos_renyi(60, 150, seed ^ 0xf00);
+        let s = stream::uniform_per_step(&g, steps, frac, seed);
+        prop_assert_eq!(s.batches.len(), steps);
+        let per_step = ((g.m() as f64) * frac).round().max(1.0) as usize;
+        let mut last_t = 0.0;
+        for b in &s.batches {
+            prop_assert!(b.time > last_t);
+            last_t = b.time;
+            prop_assert_eq!(b.edges.len(), per_step.min(g.m()));
+            prop_assert!(b.edges.iter().all(|&e| (e as usize) < g.m()));
+        }
+        let s2 = stream::uniform_per_step(&g, steps, frac, seed);
+        prop_assert_eq!(s.batches, s2.batches);
+    }
+
+    /// Workload replacement: item count preserved, fraction approximated,
+    /// query nodes are endpoints of replaced edges.
+    #[test]
+    fn workload_contract(frac in 0.0f64..1.0, seed in 0u64..32) {
+        let g = erdos_renyi(50, 120, seed ^ 0xb0b);
+        let s = stream::uniform_per_step(&g, 20, 0.2, seed);
+        let wl = Workload::from_stream(&g, &s, frac, seed ^ 1);
+        let (a, q) = wl.counts();
+        prop_assert_eq!(a + q, s.total_activations());
+        for ((t_w, items), batch) in wl.batches.iter().zip(&s.batches) {
+            prop_assert_eq!(*t_w, batch.time);
+            prop_assert_eq!(items.len(), batch.edges.len());
+            for (item, &e) in items.iter().zip(&batch.edges) {
+                match *item {
+                    WorkItem::Activate(we) => prop_assert_eq!(we, e),
+                    WorkItem::Query(v) => {
+                        let (x, y) = g.endpoints(e);
+                        prop_assert!(v == x || v == y, "query node must be an endpoint");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Community bias: higher bias never *decreases* the intra fraction.
+    #[test]
+    fn bias_is_monotone(seed in 0u64..16) {
+        let ds = registry::by_name("CO").unwrap().materialize_scaled(seed, 0.2);
+        let intra_frac = |bias: f64| {
+            let s = stream::community_biased(&ds.graph, &ds.labels, 10, 0.1, bias, seed ^ 7);
+            let mut intra = 0usize;
+            let mut total = 0usize;
+            for (_, e) in s.iter() {
+                let (u, v) = ds.graph.endpoints(e);
+                total += 1;
+                if ds.labels[u as usize] == ds.labels[v as usize] {
+                    intra += 1;
+                }
+            }
+            intra as f64 / total.max(1) as f64
+        };
+        let low = intra_frac(1.0);
+        let high = intra_frac(16.0);
+        prop_assert!(high >= low - 0.05, "bias 16 gave {high} vs bias 1 {low}");
+    }
+
+    /// Bursty day traces cover exactly 1440 minutes with valid edges.
+    #[test]
+    fn day_trace_contract(seed in 0u64..16, rate in 1usize..40) {
+        let g = erdos_renyi(80, 200, seed ^ 0xda);
+        let s = stream::bursty_day(&g, rate, 0.05, 8.0, seed);
+        prop_assert_eq!(s.batches.len(), 1440);
+        for (i, b) in s.batches.iter().enumerate() {
+            prop_assert_eq!(b.time, i as f64);
+            prop_assert!(!b.edges.is_empty());
+            prop_assert!(b.edges.iter().all(|&e| (e as usize) < g.m()));
+        }
+    }
+}

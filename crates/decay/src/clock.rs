@@ -1,0 +1,198 @@
+//! The decay clock: current time, anchor time, global decay factor and the
+//! batched-rescale policy.
+
+use crate::Time;
+
+/// When to trigger a batched rescale (paper Section IV-A: "when a fixed
+/// number of activations accumulates, we let all anchored activeness absorb
+/// the global decay factor").
+#[derive(Clone, Copy, Debug, serde::Serialize, serde::Deserialize)]
+pub struct RescaleConfig {
+    /// Rescale after this many activations since the last rescale.
+    pub every_activations: usize,
+    /// Also rescale whenever `λ(t - t*)` exceeds this guard, regardless of
+    /// activation count. `f64` overflows at ~709; the default of 200 leaves
+    /// ample headroom for products of anchored quantities.
+    pub exponent_guard: f64,
+}
+
+impl Default for RescaleConfig {
+    fn default() -> Self {
+        Self { every_activations: 4096, exponent_guard: 200.0 }
+    }
+}
+
+/// Tracks the current time `t`, the anchor time `t*` and the decay factor
+/// `λ`; decides when a batched rescale is due.
+///
+/// ```
+/// use anc_decay::{ActivenessStore, DecayClock, Rescalable};
+///
+/// // Paper Example 1: λ = 0.1, activations at t = 0 and t = 2.
+/// let mut clock = DecayClock::new(0.1);
+/// let mut act = ActivenessStore::new(1, 0.0);
+/// act.activate(0, &clock);
+/// clock.advance_to(2.0);
+/// act.activate(0, &clock);
+/// assert!((act.current(0, &clock) - 1.8187).abs() < 5e-4);
+/// // A batched rescale is unobservable:
+/// let g = clock.take_rescale();
+/// act.rescale(g);
+/// assert!((act.current(0, &clock) - 1.8187).abs() < 5e-4);
+/// ```
+///
+/// The clock itself holds no per-edge state — stores implementing
+/// [`crate::Rescalable`] absorb the factor returned by
+/// [`DecayClock::take_rescale`].
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct DecayClock {
+    lambda: f64,
+    now: Time,
+    anchor: Time,
+    cfg: RescaleConfig,
+    activations_since_rescale: usize,
+}
+
+impl DecayClock {
+    /// Creates a clock at `t = t* = 0` with decay factor `lambda >= 0`.
+    pub fn new(lambda: f64) -> Self {
+        Self::with_config(lambda, RescaleConfig::default())
+    }
+
+    /// Creates a clock with an explicit rescale policy.
+    pub fn with_config(lambda: f64, cfg: RescaleConfig) -> Self {
+        assert!(lambda >= 0.0 && lambda.is_finite(), "lambda must be finite and >= 0");
+        Self { lambda, now: 0.0, anchor: 0.0, cfg, activations_since_rescale: 0 }
+    }
+
+    /// The decay parameter λ.
+    #[inline]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Current time `t`.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Anchor time `t*`.
+    #[inline]
+    pub fn anchor(&self) -> Time {
+        self.anchor
+    }
+
+    /// The global decay factor `g(t, t*) = e^{-λ(t - t*)}` (Definition 1).
+    #[inline]
+    pub fn global_factor(&self) -> f64 {
+        (-self.lambda * (self.now - self.anchor)).exp()
+    }
+
+    /// `1 / g(t, t*) = e^{λ(t - t*)}` — the amount by which a unit activation
+    /// increases an *anchored* PosM value at the current time.
+    #[inline]
+    pub fn boost(&self) -> f64 {
+        (self.lambda * (self.now - self.anchor)).exp()
+    }
+
+    /// Advances the clock to `t`. Time never moves backwards; a stale `t` is
+    /// clamped to the current time (activation streams are ordered, but
+    /// simultaneous batches may replay equal timestamps).
+    pub fn advance_to(&mut self, t: Time) {
+        assert!(t.is_finite(), "time must be finite");
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Records that one activation was processed (for the batch trigger).
+    pub fn note_activation(&mut self) {
+        self.activations_since_rescale += 1;
+    }
+
+    /// Whether a batched rescale is due under the configured policy.
+    pub fn needs_rescale(&self) -> bool {
+        self.activations_since_rescale >= self.cfg.every_activations
+            || self.lambda * (self.now - self.anchor) >= self.cfg.exponent_guard
+    }
+
+    /// Performs the clock side of a batched rescale: returns the factor `g`
+    /// that every anchored store must absorb (via [`crate::Rescalable`]) and
+    /// resets `t* ← t`.
+    pub fn take_rescale(&mut self) -> f64 {
+        let g = self.global_factor();
+        self.anchor = self.now;
+        self.activations_since_rescale = 0;
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_matches_definition() {
+        let mut c = DecayClock::new(0.1);
+        c.advance_to(1.0);
+        assert!((c.global_factor() - (-0.1f64).exp()).abs() < 1e-15);
+        assert!((c.boost() - (0.1f64).exp()).abs() < 1e-15);
+        c.advance_to(2.0);
+        assert!((c.global_factor() - (-0.2f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rescale_resets_anchor() {
+        let mut c = DecayClock::new(0.5);
+        c.advance_to(3.0);
+        let g = c.take_rescale();
+        assert!((g - (-1.5f64).exp()).abs() < 1e-15);
+        assert_eq!(c.anchor(), 3.0);
+        assert!((c.global_factor() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn activation_count_trigger() {
+        let mut c = DecayClock::with_config(
+            0.1,
+            RescaleConfig { every_activations: 3, exponent_guard: 200.0 },
+        );
+        assert!(!c.needs_rescale());
+        c.note_activation();
+        c.note_activation();
+        assert!(!c.needs_rescale());
+        c.note_activation();
+        assert!(c.needs_rescale());
+        c.take_rescale();
+        assert!(!c.needs_rescale());
+    }
+
+    #[test]
+    fn exponent_guard_trigger() {
+        let mut c = DecayClock::with_config(
+            1.0,
+            RescaleConfig { every_activations: usize::MAX, exponent_guard: 50.0 },
+        );
+        c.advance_to(49.0);
+        assert!(!c.needs_rescale());
+        c.advance_to(50.0);
+        assert!(c.needs_rescale());
+    }
+
+    #[test]
+    fn time_is_monotonic() {
+        let mut c = DecayClock::new(0.1);
+        c.advance_to(5.0);
+        c.advance_to(3.0); // clamped
+        assert_eq!(c.now(), 5.0);
+    }
+
+    #[test]
+    fn zero_lambda_never_decays() {
+        let mut c = DecayClock::new(0.0);
+        c.advance_to(1e9);
+        assert_eq!(c.global_factor(), 1.0);
+        assert!(!c.needs_rescale());
+    }
+}

@@ -1,0 +1,123 @@
+//! Maintainability classes under the global decay factor (Definition 2).
+
+/// How a derived function of the activeness relates to its anchored
+/// representation (paper Definition 2):
+///
+/// * `Pos` — positively maintainable: `F_t = f({a*}) · g(t, t*)`. Closed
+///   under constant-free linear combination (Lemma 2); the activeness itself
+///   and the similarity `S_t` are PosM (Lemma 4).
+/// * `Neg` — negatively maintainable: `F_t = f({a*}) / g(t, t*)`. Inverses of
+///   PosM functions are NegM (Lemma 2); the reciprocal similarity `1/S_t`,
+///   the distance metric `M_t` and the pyramid distances are NegM
+///   (Lemmas 6 & 10).
+/// * `Neu` — neutrally maintainable: `g` cancels entirely, e.g. the active
+///   similarity σ (Lemma 3), which is a ratio of PosM quantities.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MaintainClass {
+    /// `true = anchored × g`.
+    Pos,
+    /// `true = anchored / g`.
+    Neg,
+    /// `true = anchored` (the factor cancels).
+    Neu,
+}
+
+impl MaintainClass {
+    /// Materializes the true value from an anchored value under factor `g`.
+    #[inline]
+    pub fn true_value(self, anchored: f64, g: f64) -> f64 {
+        match self {
+            MaintainClass::Pos => anchored * g,
+            MaintainClass::Neg => anchored / g,
+            MaintainClass::Neu => anchored,
+        }
+    }
+
+    /// The multiplier an anchored value must absorb at a batched rescale
+    /// (`t* ← t`): the new anchored value is `anchored × multiplier` so that
+    /// the true value is unchanged when `g` resets to 1.
+    #[inline]
+    pub fn rescale_multiplier(self, g: f64) -> f64 {
+        match self {
+            MaintainClass::Pos => g,
+            MaintainClass::Neg => 1.0 / g,
+            MaintainClass::Neu => 1.0,
+        }
+    }
+
+    /// Class of the inverse function `1/F` (Lemma 2: the inverse of a PosM
+    /// function is NegM, and vice versa; Neu is closed under inversion).
+    #[inline]
+    pub fn inverse(self) -> Self {
+        match self {
+            MaintainClass::Pos => MaintainClass::Neg,
+            MaintainClass::Neg => MaintainClass::Pos,
+            MaintainClass::Neu => MaintainClass::Neu,
+        }
+    }
+
+    /// Class of a ratio `F/G` of two functions of the same class: the factor
+    /// cancels, so the result is NeuM (this is how σ earns Lemma 3).
+    #[inline]
+    pub fn ratio_same_class() -> Self {
+        MaintainClass::Neu
+    }
+}
+
+/// Applies a batched rescale to a slice of anchored values of class `class`.
+pub fn absorb(class: MaintainClass, anchored: &mut [f64], g: f64) {
+    let mult = class.rescale_multiplier(g);
+    if mult != 1.0 {
+        for v in anchored.iter_mut() {
+            *v *= mult;
+        }
+    }
+}
+
+/// A store of anchored values that participates in batched rescales.
+///
+/// All stores registered with an engine absorb the *same* factor in one
+/// batch, keeping every derived quantity mutually consistent (Lemma 10: the
+/// factor for `S_t^{-1}`, `M_t` and the index `P` is `g^{-1}`).
+pub trait Rescalable {
+    /// Absorbs the global decay factor `g` into the anchored representation.
+    fn rescale(&mut self, g: f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn true_value_roundtrip() {
+        let g = 0.5;
+        for class in [MaintainClass::Pos, MaintainClass::Neg, MaintainClass::Neu] {
+            let anchored = 4.0;
+            let truth = class.true_value(anchored, g);
+            // After a rescale the anchored value absorbs the multiplier and the
+            // factor resets to 1; the true value must be unchanged.
+            let rescaled = anchored * class.rescale_multiplier(g);
+            assert!((class.true_value(rescaled, 1.0) - truth).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inverse_classes() {
+        assert_eq!(MaintainClass::Pos.inverse(), MaintainClass::Neg);
+        assert_eq!(MaintainClass::Neg.inverse(), MaintainClass::Pos);
+        assert_eq!(MaintainClass::Neu.inverse(), MaintainClass::Neu);
+    }
+
+    #[test]
+    fn absorb_slice() {
+        let mut pos = vec![1.0, 2.0];
+        absorb(MaintainClass::Pos, &mut pos, 0.5);
+        assert_eq!(pos, vec![0.5, 1.0]);
+        let mut neg = vec![1.0, 2.0];
+        absorb(MaintainClass::Neg, &mut neg, 0.5);
+        assert_eq!(neg, vec![2.0, 4.0]);
+        let mut neu = vec![1.0, 2.0];
+        absorb(MaintainClass::Neu, &mut neu, 0.5);
+        assert_eq!(neu, vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Reference implementation of the time-decay scheme (Eq. 1), kept around as
+//! the oracle that the anchored fast path is property-tested against.
+
+use anc_graph::EdgeId;
+
+use crate::Time;
+
+/// Stores every activation verbatim and evaluates Eq. 1 directly:
+/// `a_t(e) = Σ_{(e, t_i): t_i ≤ t} e^{-λ(t - t_i)}`.
+///
+/// `O(#activations)` per query — this is exactly the cost the global decay
+/// factor eliminates; it exists for testing and for the `abl_rescale`
+/// ablation.
+#[derive(Clone, Debug)]
+pub struct RawActivations {
+    lambda: f64,
+    /// Per-edge activation timestamps, in arrival order.
+    per_edge: Vec<Vec<Time>>,
+}
+
+impl RawActivations {
+    /// Creates an empty store for `m` edges with decay `lambda`.
+    pub fn new(m: usize, lambda: f64) -> Self {
+        Self { lambda, per_edge: vec![Vec::new(); m] }
+    }
+
+    /// Records an activation `(e, t)`.
+    pub fn activate(&mut self, e: EdgeId, t: Time) {
+        self.per_edge[e as usize].push(t);
+    }
+
+    /// Evaluates `a_t(e)` per Eq. 1, ignoring activations after `t`.
+    pub fn activeness_at(&self, e: EdgeId, t: Time) -> f64 {
+        self.per_edge[e as usize]
+            .iter()
+            .filter(|&&ti| ti <= t)
+            .map(|&ti| (-self.lambda * (t - ti)).exp())
+            .sum()
+    }
+
+    /// Number of recorded activations on `e`.
+    pub fn count(&self, e: EdgeId) -> usize {
+        self.per_edge[e as usize].len()
+    }
+
+    /// Total number of recorded activations.
+    pub fn total(&self) -> usize {
+        self.per_edge.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Example 1: λ = 0.1, activations at t = 0 and t = 2 on edge
+    /// (v8, v11).
+    #[test]
+    fn paper_example_1() {
+        let mut raw = RawActivations::new(1, 0.1);
+        raw.activate(0, 0.0);
+        assert!((raw.activeness_at(0, 0.0) - 1.0).abs() < 1e-12);
+        assert!((raw.activeness_at(0, 1.0) - 0.905).abs() < 5e-4);
+        raw.activate(0, 2.0);
+        assert!((raw.activeness_at(0, 2.0) - 1.8187).abs() < 5e-4);
+    }
+
+    #[test]
+    fn future_activations_ignored() {
+        let mut raw = RawActivations::new(1, 0.1);
+        raw.activate(0, 5.0);
+        assert_eq!(raw.activeness_at(0, 1.0), 0.0);
+        assert!((raw.activeness_at(0, 5.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts() {
+        let mut raw = RawActivations::new(2, 0.1);
+        raw.activate(0, 1.0);
+        raw.activate(0, 2.0);
+        raw.activate(1, 3.0);
+        assert_eq!(raw.count(0), 2);
+        assert_eq!(raw.count(1), 1);
+        assert_eq!(raw.total(), 3);
+    }
+}

@@ -1,0 +1,141 @@
+//! Sliding-window activeness — the related-work alternative to the
+//! time-decay scheme (paper Section II: existing work "either associat[es]
+//! each edge a duration … or constantly focus[es] on the activations within
+//! a temporal window (i.e., sliding window)").
+//!
+//! Each edge's activeness is the number of its activations inside
+//! `(now − window, now]`. Unlike the time-decay scheme, the weight of an
+//! edge changes *discontinuously* when an activation falls out of the
+//! window — the cliff effect the `abl_window_vs_decay` ablation quantifies —
+//! and maintenance cannot be reduced to an edge-independent global factor:
+//! evictions are per-edge events tied to each activation's own timestamp.
+
+use anc_graph::EdgeId;
+use std::collections::VecDeque;
+
+use crate::Time;
+
+/// Sliding-window activeness store.
+#[derive(Clone, Debug)]
+pub struct SlidingWindow {
+    window: f64,
+    now: Time,
+    per_edge: Vec<VecDeque<Time>>,
+}
+
+impl SlidingWindow {
+    /// Creates a store for `m` edges with window length `window > 0`.
+    pub fn new(m: usize, window: f64) -> Self {
+        assert!(window > 0.0 && window.is_finite());
+        Self { window, now: 0.0, per_edge: vec![VecDeque::new(); m] }
+    }
+
+    /// The window length.
+    pub fn window(&self) -> f64 {
+        self.window
+    }
+
+    /// Current time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Advances the clock (monotonic; stale times are clamped).
+    pub fn advance_to(&mut self, t: Time) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Records an activation `(e, t)` at the current or a given time.
+    pub fn activate(&mut self, e: EdgeId, t: Time) {
+        self.advance_to(t);
+        let q = &mut self.per_edge[e as usize];
+        q.push_back(t);
+        Self::evict(q, self.now, self.window);
+    }
+
+    fn evict(q: &mut VecDeque<Time>, now: Time, window: f64) {
+        while let Some(&front) = q.front() {
+            if front <= now - window {
+                q.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Activeness of `e` at the current time: activations within the window.
+    pub fn activeness(&mut self, e: EdgeId) -> f64 {
+        let now = self.now;
+        let window = self.window;
+        let q = &mut self.per_edge[e as usize];
+        Self::evict(q, now, window);
+        q.len() as f64
+    }
+
+    /// Materializes all edge weights at the current time.
+    pub fn weights(&mut self) -> Vec<f64> {
+        (0..self.per_edge.len()).map(|e| self.activeness(e as EdgeId)).collect()
+    }
+
+    /// Total retained activations (memory proxy — the window model must keep
+    /// every in-window activation, unlike the O(1)-per-edge anchored store).
+    pub fn retained(&self) -> usize {
+        self.per_edge.iter().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_within_window() {
+        let mut w = SlidingWindow::new(1, 10.0);
+        w.activate(0, 1.0);
+        w.activate(0, 5.0);
+        assert_eq!(w.activeness(0), 2.0);
+        w.advance_to(11.0); // activation at t=1 exits at t=11
+        assert_eq!(w.activeness(0), 1.0);
+        w.advance_to(15.0);
+        assert_eq!(w.activeness(0), 0.0);
+    }
+
+    #[test]
+    fn cliff_vs_decay_smoothness() {
+        // One activation: the window weight is a step function while the
+        // decay weight is continuous.
+        let mut w = SlidingWindow::new(1, 5.0);
+        w.activate(0, 0.0);
+        w.advance_to(4.999);
+        let before = w.activeness(0);
+        w.advance_to(5.001);
+        let after = w.activeness(0);
+        assert_eq!(before, 1.0);
+        assert_eq!(after, 0.0);
+        assert_eq!(before - after, 1.0, "full-unit cliff at window exit");
+    }
+
+    #[test]
+    fn retention_grows_with_rate() {
+        let mut w = SlidingWindow::new(2, 100.0);
+        for i in 0..50 {
+            w.activate(i % 2, i as f64);
+        }
+        assert_eq!(w.retained(), 50);
+        // After the window passes, memory is reclaimed on touch.
+        w.advance_to(1000.0);
+        assert_eq!(w.weights(), vec![0.0, 0.0]);
+        assert_eq!(w.retained(), 0);
+    }
+
+    #[test]
+    fn monotonic_clock() {
+        let mut w = SlidingWindow::new(1, 2.0);
+        w.activate(0, 5.0);
+        w.advance_to(3.0); // clamped
+        assert_eq!(w.now(), 5.0);
+        assert_eq!(w.activeness(0), 1.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Structural graph algorithms used for dataset analysis and by the
+//! evaluation harness: triangle counting, clustering coefficients, k-core
+//! decomposition and degeneracy ordering.
+
+use crate::{Graph, NodeId};
+
+/// Number of triangles through each node (each triangle counted once per
+/// corner). `O(Σ_v deg(v)²)` via neighborhood marking.
+pub fn triangles_per_node(g: &Graph) -> Vec<u64> {
+    let n = g.n();
+    let mut count = vec![0u64; n];
+    let mut mark = vec![u32::MAX; n];
+    for v in 0..n as NodeId {
+        for &w in g.neighbors(v) {
+            mark[w as usize] = v;
+        }
+        for &w in g.neighbors(v) {
+            if w < v {
+                continue; // handle each (v, w) pair once
+            }
+            for &x in g.neighbors(w) {
+                // Triangle v-w-x with x > w keeps each triangle unique.
+                if x > w && mark[x as usize] == v {
+                    count[v as usize] += 1;
+                    count[w as usize] += 1;
+                    count[x as usize] += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Total number of distinct triangles.
+pub fn triangle_count(g: &Graph) -> u64 {
+    triangles_per_node(g).iter().sum::<u64>() / 3
+}
+
+/// Local clustering coefficient of each node
+/// (`2·tri(v) / (deg(v)·(deg(v)−1))`; 0 for degree < 2).
+pub fn local_clustering(g: &Graph) -> Vec<f64> {
+    triangles_per_node(g)
+        .into_iter()
+        .enumerate()
+        .map(|(v, t)| {
+            let d = g.degree(v as NodeId) as u64;
+            if d < 2 {
+                0.0
+            } else {
+                2.0 * t as f64 / (d * (d - 1)) as f64
+            }
+        })
+        .collect()
+}
+
+/// Mean local clustering coefficient (Watts–Strogatz definition).
+pub fn average_clustering(g: &Graph) -> f64 {
+    if g.n() == 0 {
+        return 0.0;
+    }
+    local_clustering(g).iter().sum::<f64>() / g.n() as f64
+}
+
+/// K-core decomposition: `core[v]` is the largest `k` such that `v` belongs
+/// to a subgraph of minimum degree `k`. Linear-time bucket peeling
+/// (Batagelj–Zaveršnik).
+pub fn core_numbers(g: &Graph) -> Vec<u32> {
+    let n = g.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut deg: Vec<usize> = (0..n).map(|v| g.degree(v as NodeId)).collect();
+    let max_deg = *deg.iter().max().unwrap();
+    // Bucket sort by degree.
+    let mut bins = vec![0usize; max_deg + 2];
+    for &d in &deg {
+        bins[d] += 1;
+    }
+    let mut start = 0usize;
+    for b in bins.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut pos = vec![0usize; n];
+    let mut vert = vec![0 as NodeId; n];
+    for v in 0..n {
+        pos[v] = bins[deg[v]];
+        vert[pos[v]] = v as NodeId;
+        bins[deg[v]] += 1;
+    }
+    // Restore bin starts.
+    for d in (1..=max_deg + 1).rev() {
+        bins[d] = bins[d - 1];
+    }
+    bins[0] = 0;
+
+    let mut core = vec![0u32; n];
+    for i in 0..n {
+        let v = vert[i];
+        core[v as usize] = deg[v as usize] as u32;
+        for &u in g.neighbors(v) {
+            let (du, dv) = (deg[u as usize], deg[v as usize]);
+            if du > dv {
+                // Move u one bucket down: swap with the first vertex of its
+                // current bucket.
+                let pu = pos[u as usize];
+                let pw = bins[du];
+                let w = vert[pw];
+                if u != w {
+                    vert[pu] = w;
+                    vert[pw] = u;
+                    pos[u as usize] = pw;
+                    pos[w as usize] = pu;
+                }
+                bins[du] += 1;
+                deg[u as usize] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// The graph's degeneracy (maximum core number).
+pub fn degeneracy(g: &Graph) -> u32 {
+    core_numbers(g).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::connected_caveman;
+    use crate::Graph;
+
+    #[test]
+    fn triangle_counting() {
+        // One triangle plus a tail.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        assert_eq!(triangle_count(&g), 1);
+        assert_eq!(triangles_per_node(&g), vec![1, 1, 1, 0]);
+        // K4 has 4 triangles, 3 per node.
+        let k4 = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(triangle_count(&k4), 4);
+        assert_eq!(triangles_per_node(&k4), vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn clustering_coefficients() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let cc = local_clustering(&g);
+        assert!((cc[0] - 1.0).abs() < 1e-12);
+        assert!((cc[2] - 2.0 / 6.0).abs() < 1e-12); // deg 3, one triangle
+        assert_eq!(cc[3], 0.0);
+        // Cliques have coefficient 1 everywhere.
+        let lg = connected_caveman(2, 5);
+        let cc = local_clustering(&lg.graph);
+        let bridgeless: Vec<f64> =
+            (0..lg.graph.n()).filter(|&v| lg.graph.degree(v as u32) == 4).map(|v| cc[v]).collect();
+        assert!(bridgeless.iter().all(|&c| (c - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn cores_of_clique_and_tree() {
+        // K5: every node in the 4-core.
+        let mut edges = vec![];
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        let k5 = Graph::from_edges(5, &edges);
+        assert_eq!(core_numbers(&k5), vec![4; 5]);
+        assert_eq!(degeneracy(&k5), 4);
+        // A path: 1-core everywhere (endpoints included).
+        let path = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(core_numbers(&path), vec![1; 4]);
+    }
+
+    #[test]
+    fn core_peels_pendant_vertices() {
+        // Triangle with a pendant: pendant is 1-core, triangle 2-core.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        assert_eq!(core_numbers(&g), vec![2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]);
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(average_clustering(&g), 0.0);
+        assert!(core_numbers(&g).is_empty());
+        assert_eq!(degeneracy(&g), 0);
+    }
+
+    #[test]
+    fn caveman_has_high_clustering() {
+        let lg = connected_caveman(4, 6);
+        assert!(average_clustering(&lg.graph) > 0.8);
+    }
+}

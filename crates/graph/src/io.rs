@@ -1,0 +1,162 @@
+//! Plain-text edge-list serialization.
+//!
+//! Format: one `u v` pair per line (whitespace separated, `#`-prefixed
+//! comment lines ignored) — the same format as the SNAP datasets the paper
+//! uses, so real data can be dropped in when available.
+
+use std::io::{BufRead, Write};
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Errors from edge-list parsing.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line that is neither a comment nor a `u v` pair.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Malformed { line, content } => {
+                write!(f, "malformed edge list at line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Io(e) => Some(e),
+            ParseError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Reads an edge list; node ids may be arbitrary `u64`s and are remapped to a
+/// dense `0..n` range (first-appearance order). Returns the graph and the
+/// original id of each dense node.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<(Graph, Vec<u64>), ParseError> {
+    let mut remap = std::collections::HashMap::<u64, NodeId>::new();
+    let mut original = Vec::<u64>::new();
+    let mut edges = Vec::<(NodeId, NodeId)>::new();
+    let intern = |raw: u64, original: &mut Vec<u64>, remap: &mut std::collections::HashMap<u64, NodeId>| {
+        *remap.entry(raw).or_insert_with(|| {
+            original.push(raw);
+            (original.len() - 1) as NodeId
+        })
+    };
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let (a, b) = match (it.next(), it.next()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                return Err(ParseError::Malformed { line: i + 1, content: trimmed.to_string() })
+            }
+        };
+        let (pa, pb) = match (a.parse::<u64>(), b.parse::<u64>()) {
+            (Ok(pa), Ok(pb)) => (pa, pb),
+            _ => {
+                return Err(ParseError::Malformed { line: i + 1, content: trimmed.to_string() })
+            }
+        };
+        let u = intern(pa, &mut original, &mut remap);
+        let v = intern(pb, &mut original, &mut remap);
+        edges.push((u, v));
+    }
+    let mut b = GraphBuilder::with_capacity(original.len(), edges.len());
+    for (u, v) in edges {
+        if u != v {
+            b.add_edge(u, v);
+        }
+    }
+    Ok((b.build(), original))
+}
+
+/// Writes the graph as a `u v` edge list (canonical `u < v`, one per line).
+pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "# nodes {} edges {}", g.n(), g.m())?;
+    for (_, u, v) in g.iter_edges() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let g = crate::gen::erdos_renyi(50, 120, 9);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let (g2, orig) = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g2.m(), g.m());
+        // Remap may reorder ids; edge multiset over original ids must match.
+        let mut e1: Vec<(u64, u64)> =
+            g.iter_edges().map(|(_, u, v)| (u as u64, v as u64)).collect();
+        let mut e2: Vec<(u64, u64)> = g2
+            .iter_edges()
+            .map(|(_, u, v)| {
+                let (a, b) = (orig[u as usize], orig[v as usize]);
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        e1.sort_unstable();
+        e2.sort_unstable();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let text = "# comment\n\n% another\n0 1\n1 2\n";
+        let (g, _) = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn sparse_ids_are_remapped() {
+        let text = "100 200\n200 3000\n";
+        let (g, orig) = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(orig, vec![100, 200, 3000]);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let text = "0 1\nnot an edge\n";
+        match read_edge_list(text.as_bytes()) {
+            Err(ParseError::Malformed { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let text = "0 0\n0 1\n";
+        let (g, _) = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.m(), 1);
+    }
+}

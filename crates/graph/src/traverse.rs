@@ -1,0 +1,178 @@
+//! Traversal utilities: BFS, connected components, degree orderings.
+//!
+//! These back the clustering extraction (paper Section V-B): even clustering
+//! is connected components over voted edges; power clustering searches nodes
+//! in decreasing-degree order (ties broken by node id).
+
+use crate::{Graph, NodeId};
+
+/// Connected-component labelling.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// `label[v]` is the component id of `v`, dense in `0..count`.
+    pub label: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl Components {
+    /// Size of each component, indexed by component id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.label {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Members of each component, indexed by component id.
+    pub fn groups(&self) -> Vec<Vec<NodeId>> {
+        let mut groups = vec![Vec::new(); self.count];
+        for (v, &l) in self.label.iter().enumerate() {
+            groups[l as usize].push(v as NodeId);
+        }
+        groups
+    }
+}
+
+/// Connected components of the whole graph via iterative BFS.
+pub fn connected_components(g: &Graph) -> Components {
+    connected_components_filtered(g, |_, _, _| true)
+}
+
+/// Connected components where an edge `(u, v)` with id `e` participates only
+/// if `keep(u, v, e)` returns true.
+///
+/// This is exactly the paper's *even clustering*: remove all edges whose
+/// voting result is 0 and report the components of what remains.
+pub fn connected_components_filtered<F>(g: &Graph, mut keep: F) -> Components
+where
+    F: FnMut(NodeId, NodeId, crate::EdgeId) -> bool,
+{
+    let n = g.n();
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n as NodeId {
+        if label[start as usize] != u32::MAX {
+            continue;
+        }
+        label[start as usize] = count;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for (w, e) in g.edges_of(v) {
+                if label[w as usize] == u32::MAX && keep(v, w, e) {
+                    label[w as usize] = count;
+                    queue.push_back(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components { label, count: count as usize }
+}
+
+/// BFS distances (in hops) from `source`; unreachable nodes get `u32::MAX`.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.n()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == u32::MAX {
+                dist[w as usize] = dv + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Nodes in decreasing-degree order, ties broken by increasing node id.
+///
+/// This is the search order of the paper's *power clustering* ("Set a
+/// direction to each edge that heads from high degree node to low degree node
+/// (use node id to break ties)").
+pub fn degree_order_desc(g: &Graph) -> Vec<NodeId> {
+    let mut order: Vec<NodeId> = (0..g.n() as NodeId).collect();
+    order.sort_unstable_by(|&a, &b| {
+        g.degree(b).cmp(&g.degree(a)).then_with(|| a.cmp(&b))
+    });
+    order
+}
+
+/// Returns true iff the directed power-clustering edge orientation points
+/// from `from` to `to` (higher degree → lower degree, node id breaks ties).
+#[inline]
+pub fn power_edge_points(g: &Graph, from: NodeId, to: NodeId) -> bool {
+    let (df, dt) = (g.degree(from), g.degree(to));
+    df > dt || (df == dt && from < to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    fn two_triangles() -> Graph {
+        Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+    }
+
+    #[test]
+    fn components_basic() {
+        let g = two_triangles();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 2);
+        assert_eq!(c.label[0], c.label[1]);
+        assert_eq!(c.label[3], c.label[5]);
+        assert_ne!(c.label[0], c.label[3]);
+        assert_eq!(c.sizes(), vec![3, 3]);
+        let groups = c.groups();
+        assert_eq!(groups[0], vec![0, 1, 2]);
+        assert_eq!(groups[1], vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn components_filtered_cuts_edges() {
+        // A path 0-1-2; cutting (1,2) gives components {0,1},{2}.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let cut = g.edge_id(1, 2).unwrap();
+        let c = connected_components_filtered(&g, |_, _, e| e != cut);
+        assert_eq!(c.count, 2);
+        assert_eq!(c.label[0], c.label[1]);
+        assert_ne!(c.label[0], c.label[2]);
+    }
+
+    #[test]
+    fn components_isolated_nodes() {
+        let g = Graph::from_edges(4, &[(0, 1)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 3);
+    }
+
+    #[test]
+    fn bfs_hops() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[..4], [0, 1, 2, 3]);
+        assert_eq!(d[4], u32::MAX); // isolated
+    }
+
+    #[test]
+    fn degree_order_ties_by_id() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (2, 3)]);
+        // degrees: 0→2, 1→2, 2→3, 3→1
+        assert_eq!(degree_order_desc(&g), vec![2, 0, 1, 3]);
+    }
+
+    #[test]
+    fn power_orientation() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (2, 3)]);
+        assert!(power_edge_points(&g, 2, 0)); // deg 3 > deg 2
+        assert!(!power_edge_points(&g, 0, 2));
+        assert!(power_edge_points(&g, 0, 1)); // equal degree, id 0 < 1
+        assert!(!power_edge_points(&g, 1, 0));
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the graph substrate: CSR construction invariants,
+//! edge lookup consistency, component laws and generator contracts.
+
+use anc_graph::gen::{erdos_renyi, planted_partition, PlantedConfig};
+use anc_graph::traverse::connected_components;
+use anc_graph::{Graph, NodeId};
+use proptest::prelude::*;
+
+fn edge_list_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0u32..n as u32, 0u32..n as u32), 0..120);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// CSR construction: sorted unique neighbors, symmetric adjacency,
+    /// consistent edge ids, handshake lemma.
+    #[test]
+    fn csr_invariants((n, edges) in edge_list_strategy()) {
+        let g = Graph::from_edges(n, &edges);
+        let mut degree_sum = 0usize;
+        for v in 0..n as NodeId {
+            let nbrs = g.neighbors(v);
+            degree_sum += nbrs.len();
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "unsorted/dup neighbors");
+            prop_assert!(!nbrs.contains(&v), "self loop survived");
+            for (w, e) in g.edges_of(v) {
+                prop_assert!(g.neighbors(w).contains(&v), "asymmetric adjacency");
+                prop_assert_eq!(g.edge_id(v, w), Some(e));
+                prop_assert_eq!(g.other_endpoint(e, v), w);
+            }
+        }
+        prop_assert_eq!(degree_sum, 2 * g.m());
+        // Every input edge (non-loop) is present.
+        for &(a, b) in &edges {
+            if a != b {
+                prop_assert!(g.has_edge(a, b));
+            }
+        }
+    }
+
+    /// Components partition V; nodes in one component are mutually reachable
+    /// through edges entirely inside it.
+    #[test]
+    fn component_laws((n, edges) in edge_list_strategy()) {
+        let g = Graph::from_edges(n, &edges);
+        let comps = connected_components(&g);
+        prop_assert_eq!(comps.label.len(), n);
+        prop_assert_eq!(comps.sizes().iter().sum::<usize>(), n);
+        // Every edge joins same-component endpoints.
+        for (_, u, v) in g.iter_edges() {
+            prop_assert_eq!(comps.label[u as usize], comps.label[v as usize]);
+        }
+    }
+
+    /// Common-neighbor iteration agrees with the brute-force intersection.
+    #[test]
+    fn common_neighbors_match_sets((n, edges) in edge_list_strategy()) {
+        let g = Graph::from_edges(n, &edges);
+        for u in 0..(n as NodeId).min(8) {
+            for v in 0..(n as NodeId).min(8) {
+                if u == v { continue; }
+                let brute: std::collections::BTreeSet<NodeId> = g
+                    .neighbors(u)
+                    .iter()
+                    .filter(|w| g.neighbors(v).contains(w))
+                    .copied()
+                    .collect();
+                let mut merged = std::collections::BTreeSet::new();
+                g.for_common_neighbors(u, v, |w, e_uw, e_vw| {
+                    merged.insert(w);
+                    assert_eq!(g.edge_id(u, w), Some(e_uw));
+                    assert_eq!(g.edge_id(v, w), Some(e_vw));
+                });
+                prop_assert_eq!(brute.len(), g.common_neighbor_count(u, v));
+                prop_assert_eq!(brute, merged);
+            }
+        }
+    }
+
+    /// ER generator: exact edge count, determinism, valid ids.
+    #[test]
+    fn er_contract(n in 10usize..60, seed in 0u64..32) {
+        let m = n; // sparse enough for rejection sampling (m ≤ n(n−1)/4 for n ≥ 10)
+        let g = erdos_renyi(n, m, seed);
+        prop_assert_eq!(g.m(), m);
+        prop_assert_eq!(g.n(), n);
+        let g2 = erdos_renyi(n, m, seed);
+        let e1: Vec<_> = g.iter_edges().collect();
+        let e2: Vec<_> = g2.iter_edges().collect();
+        prop_assert_eq!(e1, e2);
+    }
+
+    /// Planted partition: labels cover all nodes, community count respected,
+    /// and intra edges dominate for low mixing.
+    #[test]
+    fn planted_contract(n in 40usize..200, seed in 0u64..16) {
+        let cfg = PlantedConfig {
+            n,
+            communities: 4,
+            avg_intra_degree: 6.0,
+            mixing: 0.1,
+            size_exponent: 0.0,
+        };
+        let lg = planted_partition(&cfg, seed);
+        prop_assert_eq!(lg.labels.len(), n);
+        prop_assert!(lg.num_communities() <= 4);
+        let (mut intra, mut inter) = (0usize, 0usize);
+        for (_, u, v) in lg.graph.iter_edges() {
+            if lg.labels[u as usize] == lg.labels[v as usize] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        prop_assert!(intra > inter, "low mixing must keep intra edges dominant");
+    }
+}

@@ -1,0 +1,195 @@
+//! The `Clustering` partition type shared by all algorithms and metrics.
+
+use anc_graph::NodeId;
+
+/// Cluster label marking a node as noise / unassigned.
+///
+/// The paper regards all clusters with fewer than 3 nodes as noise and
+/// removes them before scoring (Section VI-A).
+pub const NOISE: u32 = u32::MAX;
+
+/// A (possibly partial) partition of `0..n` nodes into clusters.
+///
+/// Labels are dense in `0..num_clusters()` except for [`NOISE`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Clustering {
+    assignment: Vec<u32>,
+}
+
+impl Clustering {
+    /// Builds from raw labels; any label value is accepted and will be
+    /// re-densified (NOISE is preserved).
+    pub fn from_labels(labels: &[u32]) -> Self {
+        let mut c = Self { assignment: labels.to_vec() };
+        c.densify();
+        c
+    }
+
+    /// Builds from explicit member lists; unmentioned nodes become noise.
+    ///
+    /// # Panics
+    /// Panics if a node appears in two groups or exceeds `n`.
+    pub fn from_groups(n: usize, groups: &[Vec<NodeId>]) -> Self {
+        let mut assignment = vec![NOISE; n];
+        for (c, group) in groups.iter().enumerate() {
+            for &v in group {
+                assert!(
+                    assignment[v as usize] == NOISE,
+                    "node {v} assigned to multiple clusters"
+                );
+                assignment[v as usize] = c as u32;
+            }
+        }
+        Self { assignment }
+    }
+
+    /// The all-noise clustering over `n` nodes.
+    pub fn all_noise(n: usize) -> Self {
+        Self { assignment: vec![NOISE; n] }
+    }
+
+    /// Every node in its own singleton cluster.
+    pub fn singletons(n: usize) -> Self {
+        Self { assignment: (0..n as u32).collect() }
+    }
+
+    /// Number of nodes (including noise nodes).
+    pub fn n(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Label of node `v` ([`NOISE`] if unassigned).
+    #[inline]
+    pub fn label(&self, v: NodeId) -> u32 {
+        self.assignment[v as usize]
+    }
+
+    /// Whether node `v` is noise.
+    #[inline]
+    pub fn is_noise(&self, v: NodeId) -> bool {
+        self.assignment[v as usize] == NOISE
+    }
+
+    /// Raw label slice.
+    pub fn labels(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Number of clusters (excluding noise).
+    pub fn num_clusters(&self) -> usize {
+        self.assignment
+            .iter()
+            .filter(|&&l| l != NOISE)
+            .max()
+            .map_or(0, |&m| m as usize + 1)
+    }
+
+    /// Number of non-noise nodes.
+    pub fn num_assigned(&self) -> usize {
+        self.assignment.iter().filter(|&&l| l != NOISE).count()
+    }
+
+    /// Sizes per cluster id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_clusters()];
+        for &l in &self.assignment {
+            if l != NOISE {
+                sizes[l as usize] += 1;
+            }
+        }
+        sizes
+    }
+
+    /// Member lists per cluster id.
+    pub fn groups(&self) -> Vec<Vec<NodeId>> {
+        let mut groups = vec![Vec::new(); self.num_clusters()];
+        for (v, &l) in self.assignment.iter().enumerate() {
+            if l != NOISE {
+                groups[l as usize].push(v as NodeId);
+            }
+        }
+        groups
+    }
+
+    /// Marks every cluster smaller than `min_size` as noise and re-densifies
+    /// labels — the paper's "<3 nodes are noise" convention with
+    /// `min_size = 3`.
+    pub fn filter_small(&self, min_size: usize) -> Self {
+        let sizes = self.sizes();
+        let mut filtered = self.assignment.clone();
+        for l in filtered.iter_mut() {
+            if *l != NOISE && sizes[*l as usize] < min_size {
+                *l = NOISE;
+            }
+        }
+        let mut c = Self { assignment: filtered };
+        c.densify();
+        c
+    }
+
+    /// Remaps labels to a dense `0..k` range preserving noise.
+    fn densify(&mut self) {
+        let mut remap = std::collections::HashMap::new();
+        let mut next = 0u32;
+        for l in self.assignment.iter_mut() {
+            if *l == NOISE {
+                continue;
+            }
+            let entry = remap.entry(*l).or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            });
+            *l = *entry;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_labels_densifies() {
+        let c = Clustering::from_labels(&[5, 5, 9, NOISE, 9]);
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.label(0), c.label(1));
+        assert_eq!(c.label(2), c.label(4));
+        assert_ne!(c.label(0), c.label(2));
+        assert!(c.is_noise(3));
+        assert_eq!(c.num_assigned(), 4);
+    }
+
+    #[test]
+    fn from_groups_and_back() {
+        let c = Clustering::from_groups(5, &[vec![0, 2], vec![1, 3]]);
+        assert_eq!(c.groups(), vec![vec![0, 2], vec![1, 3]]);
+        assert!(c.is_noise(4));
+        assert_eq!(c.sizes(), vec![2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple clusters")]
+    fn overlapping_groups_panic() {
+        Clustering::from_groups(3, &[vec![0, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn filter_small_removes_and_densifies() {
+        // cluster 0: 3 nodes, cluster 1: 2 nodes, cluster 2: 1 node
+        let c = Clustering::from_labels(&[0, 0, 0, 1, 1, 2]);
+        let f = c.filter_small(3);
+        assert_eq!(f.num_clusters(), 1);
+        assert_eq!(f.label(0), 0);
+        assert!(f.is_noise(3));
+        assert!(f.is_noise(5));
+    }
+
+    #[test]
+    fn degenerate_constructors() {
+        assert_eq!(Clustering::all_noise(3).num_clusters(), 0);
+        let s = Clustering::singletons(3);
+        assert_eq!(s.num_clusters(), 3);
+        assert_eq!(s.sizes(), vec![1, 1, 1]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Structural quality measures: modularity and conductance.
+
+use anc_graph::{EdgeId, Graph};
+
+use crate::{Clustering, NOISE};
+
+/// Weighted Newman modularity
+/// `Q = Σ_c [ W_in(c)/W  −  (vol(c) / 2W)² ]`
+/// where `W` is the total edge weight, `W_in(c)` the weight inside cluster
+/// `c`, and `vol(c)` the weighted degree sum of `c`'s members.
+///
+/// Noise nodes contribute to `W` and volumes but belong to no cluster —
+/// matching how the paper's baselines are scored after noise filtering.
+/// `weight(e)` must be non-negative; pass `|_| 1.0` for the unweighted case.
+pub fn modularity<W: Fn(EdgeId) -> f64>(g: &Graph, c: &Clustering, weight: W) -> f64 {
+    let k = c.num_clusters();
+    if k == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0f64; // W: total weight over all edges
+    let mut win = vec![0.0f64; k]; // intra-cluster weight
+    let mut vol = vec![0.0f64; k]; // weighted volume per cluster
+    for (e, u, v) in g.iter_edges() {
+        let w = weight(e);
+        debug_assert!(w >= 0.0, "modularity requires non-negative weights");
+        total += w;
+        let (lu, lv) = (c.label(u), c.label(v));
+        if lu != NOISE {
+            vol[lu as usize] += w;
+        }
+        if lv != NOISE {
+            vol[lv as usize] += w;
+        }
+        if lu != NOISE && lu == lv {
+            win[lu as usize] += w;
+        }
+    }
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let two_w = 2.0 * total;
+    (0..k)
+        .map(|i| win[i] / total - (vol[i] / two_w).powi(2))
+        .sum()
+}
+
+/// Average weighted conductance over clusters:
+/// `φ(c) = cut(c) / min(vol(c), vol(V \ c))`, averaged over non-noise
+/// clusters. Lower is better. Clusters with zero volume score 1 (the
+/// worst), matching the usual convention for degenerate clusters.
+pub fn avg_conductance<W: Fn(EdgeId) -> f64>(g: &Graph, c: &Clustering, weight: W) -> f64 {
+    let k = c.num_clusters();
+    if k == 0 {
+        return 1.0;
+    }
+    let mut cut = vec![0.0f64; k];
+    let mut vol = vec![0.0f64; k];
+    let mut total_vol = 0.0f64;
+    for (e, u, v) in g.iter_edges() {
+        let w = weight(e);
+        total_vol += 2.0 * w;
+        let (lu, lv) = (c.label(u), c.label(v));
+        if lu != NOISE {
+            vol[lu as usize] += w;
+        }
+        if lv != NOISE {
+            vol[lv as usize] += w;
+        }
+        if lu != lv {
+            if lu != NOISE {
+                cut[lu as usize] += w;
+            }
+            if lv != NOISE {
+                cut[lv as usize] += w;
+            }
+        }
+    }
+    let mut sum = 0.0;
+    for i in 0..k {
+        let denom = vol[i].min(total_vol - vol[i]);
+        sum += if denom > 0.0 { (cut[i] / denom).min(1.0) } else { 1.0 };
+    }
+    sum / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anc_graph::gen::connected_caveman;
+    use anc_graph::Graph;
+
+    #[test]
+    fn perfect_split_high_modularity_low_conductance() {
+        let lg = connected_caveman(4, 6);
+        let c = Clustering::from_labels(&lg.labels);
+        let q = modularity(&lg.graph, &c, |_| 1.0);
+        assert!(q > 0.6, "caveman modularity should be high, got {q}");
+        let phi = avg_conductance(&lg.graph, &c, |_| 1.0);
+        assert!(phi < 0.1, "caveman conductance should be low, got {phi}");
+    }
+
+    #[test]
+    fn single_cluster_zero_modularity() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let c = Clustering::from_labels(&[0, 0, 0, 0]);
+        let q = modularity(&g, &c, |_| 1.0);
+        assert!(q.abs() < 1e-12);
+        // One cluster containing everything has zero cut.
+        assert!(avg_conductance(&g, &c, |_| 1.0) <= 1.0);
+    }
+
+    #[test]
+    fn random_split_near_zero_modularity() {
+        let lg = connected_caveman(4, 6);
+        // Assign nodes round-robin, ignoring structure.
+        let labels: Vec<u32> = (0..lg.graph.n() as u32).map(|v| v % 4).collect();
+        let c = Clustering::from_labels(&labels);
+        let q = modularity(&lg.graph, &c, |_| 1.0);
+        assert!(q < 0.2, "round-robin split should have low modularity, got {q}");
+        let phi = avg_conductance(&lg.graph, &c, |_| 1.0);
+        assert!(phi > 0.5, "round-robin split should have high conductance, got {phi}");
+    }
+
+    #[test]
+    fn weights_matter() {
+        // Two triangles joined by a heavy bridge: with the bridge weighted
+        // heavily, the two-cluster split loses modularity.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
+        let c = Clustering::from_labels(&[0, 0, 0, 1, 1, 1]);
+        let bridge = g.edge_id(2, 3).unwrap();
+        let q_light = modularity(&g, &c, |e| if e == bridge { 0.1 } else { 1.0 });
+        let q_heavy = modularity(&g, &c, |e| if e == bridge { 10.0 } else { 1.0 });
+        assert!(q_light > q_heavy);
+        let phi_light = avg_conductance(&g, &c, |e| if e == bridge { 0.1 } else { 1.0 });
+        let phi_heavy = avg_conductance(&g, &c, |e| if e == bridge { 10.0 } else { 1.0 });
+        assert!(phi_light < phi_heavy);
+    }
+
+    #[test]
+    fn noise_only_is_degenerate() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let c = Clustering::all_noise(3);
+        assert_eq!(modularity(&g, &c, |_| 1.0), 0.0);
+        assert_eq!(avg_conductance(&g, &c, |_| 1.0), 1.0);
+    }
+
+    #[test]
+    fn modularity_bounded() {
+        let lg = connected_caveman(5, 4);
+        let c = Clustering::from_labels(&lg.labels);
+        let q = modularity(&lg.graph, &c, |_| 1.0);
+        assert!((-0.5..=1.0).contains(&q));
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: index an activation network, stream activations, and ask for
+//! local active communities at several granularities.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use anc::core::{AncConfig, AncEngine, ClusterMode};
+use anc::graph::gen::{planted_partition, PlantedConfig};
+
+fn main() {
+    // 1. A relation network: 1000 nodes in ~60 planted communities.
+    let lg = planted_partition(
+        &PlantedConfig { n: 1000, communities: 60, avg_intra_degree: 8.0, mixing: 0.15, size_exponent: 2.0 },
+        42,
+    );
+    let graph = lg.graph;
+    println!("relation network: {} nodes, {} edges", graph.n(), graph.m());
+
+    // 2. Build the engine: initializes the similarity S₀ with `rep`
+    //    reinforcement passes and constructs the pyramids index.
+    let cfg = AncConfig::default();
+    let mut engine = AncEngine::new(graph.clone(), cfg, 7);
+    println!(
+        "pyramids index: {} pyramids × {} levels, {:.1} MB",
+        engine.config().k,
+        engine.num_levels(),
+        engine.memory_bytes() as f64 / 1048576.0
+    );
+
+    // 3. Report all clusters at the Θ(√n) default granularity.
+    let level = engine.default_level();
+    let clustering = engine.cluster_all(level, ClusterMode::Power);
+    println!(
+        "level {level}: {} clusters over {} nodes",
+        clustering.filter_small(3).num_clusters(),
+        graph.n()
+    );
+
+    // 4. Stream some activations: node 0's community chats all day.
+    let hot_edges: Vec<u32> = graph
+        .iter_edges()
+        .filter(|&(_, u, v)| lg.labels[u as usize] == lg.labels[0] && lg.labels[v as usize] == lg.labels[0])
+        .map(|(e, _, _)| e)
+        .collect();
+    for t in 1..=20 {
+        for &e in &hot_edges {
+            engine.activate(e, t as f64);
+        }
+    }
+    println!("streamed {} activations up to t = {}", engine.activations(), engine.now());
+
+    // 5. Ask for node 0's local active community — cost proportional to the
+    //    answer, not the graph (Lemma 9) — then zoom out for context.
+    let mine = engine.local_cluster(0, level);
+    println!("node 0's active community at level {level}: {} nodes", mine.len());
+    let coarser = engine.local_cluster(0, level.saturating_sub(1));
+    println!("zoomed out one level: {} nodes", coarser.len());
+    let smallest = engine.smallest_cluster(0);
+    println!("smallest cluster containing node 0: {} nodes", smallest.len());
+
+    // 6. Edge-level introspection.
+    let e = hot_edges[0];
+    let (u, v) = graph.endpoints(e);
+    println!(
+        "edge ({u}, {v}): activeness {:.2}, similarity {:.3}, σ = {:.3}",
+        engine.activeness(e),
+        engine.similarity(e),
+        engine.sigma(u, v)
+    );
+}

@@ -1,0 +1,6 @@
+#!/bin/bash
+# Final verification: full test suite + benches, teed to the repo root.
+cd "$(dirname "$0")"
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt
+echo "FINAL RUNS DONE"

@@ -1,0 +1,130 @@
+//! Cross-crate integration: all baselines and the ANC engine on one shared
+//! benchmark, checking the qualitative orderings the paper's evaluation
+//! rests on.
+
+use anc::baselines::{attractor, dyna::DynaEngine, louvain, lwep::LwepEngine, scan, spectral};
+use anc::core::{AncConfig, AncEngine, ClusterMode};
+use anc::graph::gen::{planted_partition, PlantedConfig};
+use anc::metrics::{modularity, nmi, Clustering};
+
+fn benchmark_graph() -> (anc::graph::Graph, Vec<u32>) {
+    let cfg = PlantedConfig {
+        n: 600,
+        communities: 12,
+        avg_intra_degree: 10.0,
+        mixing: 0.12,
+        size_exponent: 0.0,
+    };
+    let lg = planted_partition(&cfg, 31);
+    (lg.graph, lg.labels)
+}
+
+#[test]
+fn every_method_recovers_planted_structure() {
+    let (g, labels) = benchmark_graph();
+    let truth = Clustering::from_labels(&labels).filter_small(3);
+    let w = vec![1.0f64; g.m()];
+
+    let mut results: Vec<(&str, f64)> = Vec::new();
+
+    let c = scan::cluster(&g, &scan::ScanParams { epsilon: 0.4, mu: 3 }).filter_small(3);
+    results.push(("SCAN", nmi(&c, &truth)));
+
+    let (c, _) = attractor::cluster(&g, &w, &attractor::AttractorParams::default());
+    results.push(("ATTR", nmi(&c.filter_small(3), &truth)));
+
+    let c = louvain::cluster(&g, &w, &louvain::LouvainParams::default()).filter_small(3);
+    results.push(("LOUV", nmi(&c, &truth)));
+
+    let c = spectral::cluster(
+        &g,
+        &w,
+        &spectral::SpectralParams { k: 12, ..Default::default() },
+        3,
+    )
+    .filter_small(3);
+    results.push(("SPEC", nmi(&c, &truth)));
+
+    let engine = AncEngine::new(g.clone(), AncConfig { rep: 3, ..Default::default() }, 5);
+    let c = engine
+        .cluster_all(engine.default_level(), ClusterMode::Power)
+        .filter_small(3);
+    results.push(("ANC", nmi(&c, &truth)));
+
+    for (name, score) in &results {
+        assert!(
+            *score > 0.6,
+            "{name} should recover an easy planted partition, NMI = {score:.3}"
+        );
+    }
+}
+
+#[test]
+fn louvain_wins_modularity_anc_stays_close() {
+    // The paper: LOUV optimizes modularity directly and wins it; ANC is the
+    // best of the rest. We check LOUV ≥ ANC ≥ ATTR on modularity here.
+    let (g, _) = benchmark_graph();
+    let w = vec![1.0f64; g.m()];
+    let q = |c: &Clustering| modularity(&g, &c.filter_small(3), |_| 1.0);
+
+    let louv = q(&louvain::cluster(&g, &w, &louvain::LouvainParams::default()));
+    let engine = AncEngine::new(g.clone(), AncConfig { rep: 3, ..Default::default() }, 5);
+    let anc_level = anc_best_modularity_level(&engine, &g);
+    let anc = q(&engine.cluster_all(anc_level, ClusterMode::Power));
+    assert!(louv >= anc - 0.02, "LOUV ({louv:.3}) should win modularity vs ANC ({anc:.3})");
+    assert!(anc > 0.3, "ANC modularity should be substantial, got {anc:.3}");
+}
+
+fn anc_best_modularity_level(engine: &AncEngine, g: &anc::graph::Graph) -> usize {
+    (engine.default_level()..engine.num_levels())
+        .max_by(|&a, &b| {
+            let qa = modularity(g, &engine.cluster_all(a, ClusterMode::Power).filter_small(3), |_| 1.0);
+            let qb = modularity(g, &engine.cluster_all(b, ClusterMode::Power).filter_small(3), |_| 1.0);
+            qa.partial_cmp(&qb).unwrap()
+        })
+        .unwrap()
+}
+
+#[test]
+fn online_baselines_process_identical_streams() {
+    let (g, _) = benchmark_graph();
+    let mut dyna = DynaEngine::new(g.clone(), vec![1.0; g.m()], 0.1);
+    let mut lwep = LwepEngine::new(g.clone(), vec![1.0; g.m()], 0.1);
+    let mut engine = AncEngine::new(g.clone(), AncConfig { rep: 1, ..Default::default() }, 5);
+
+    for t in 1..=20u32 {
+        let edges: Vec<u32> = (0..10).map(|i| ((t * 31 + i * 7) as usize % g.m()) as u32).collect();
+        dyna.step(t as f64, &edges);
+        lwep.step(t as f64, &edges);
+        engine.activate_batch(&edges, t as f64);
+    }
+    // All three remain functional and non-degenerate.
+    assert!(dyna.clustering().num_clusters() >= 2);
+    assert!(lwep.clustering().num_clusters() >= 2);
+    assert!(engine.cluster_all(engine.default_level(), ClusterMode::Power).num_clusters() >= 2);
+    engine.check_invariants().unwrap();
+}
+
+#[test]
+fn weighted_baselines_follow_activeness_shift() {
+    // Downweight half the communities: every weighted method should reflect
+    // the change relative to its uniform-weight run.
+    let (g, labels) = benchmark_graph();
+    let uniform = vec![1.0f64; g.m()];
+    let skewed: Vec<f64> = g
+        .iter_edges()
+        .map(|(_, u, v)| {
+            if labels[u as usize] < 6 && labels[v as usize] < 6 {
+                5.0
+            } else {
+                0.2
+            }
+        })
+        .collect();
+    let lu = louvain::cluster(&g, &uniform, &louvain::LouvainParams::default());
+    let ls = louvain::cluster(&g, &skewed, &louvain::LouvainParams::default());
+    assert_ne!(lu, ls, "Louvain must react to weight changes");
+    let su = scan::cluster_weighted(&g, &uniform, &scan::ScanParams::default());
+    let ss = scan::cluster_weighted(&g, &skewed, &scan::ScanParams::default());
+    assert_ne!(su, ss, "weighted SCAN must react to weight changes");
+}

@@ -1,0 +1,168 @@
+//! Cross-crate integration: the full pipeline from dataset generation
+//! through online maintenance to clustering queries, exercised via the
+//! facade crate exactly as a downstream user would.
+
+use anc::core::{AncConfig, AncEngine, ClusterMode};
+use anc::data::{registry, stream};
+use anc::metrics::{nmi, Clustering};
+
+fn small_engine() -> (AncEngine, Vec<u32>) {
+    let ds = registry::by_name("CO").unwrap().materialize_scaled(3, 0.3);
+    let cfg = AncConfig { rep: 2, k: 4, ..Default::default() };
+    let labels = ds.labels.clone();
+    (AncEngine::new(ds.graph, cfg, 17), labels)
+}
+
+#[test]
+fn static_clustering_beats_random_assignment() {
+    let (engine, labels) = small_engine();
+    let truth = Clustering::from_labels(&labels).filter_small(3);
+    let found = engine
+        .cluster_all(engine.default_level(), ClusterMode::Power)
+        .filter_small(3);
+    let quality = nmi(&found, &truth);
+    // A label-shuffled control.
+    let shuffled: Vec<u32> = labels.iter().rev().copied().collect();
+    let control = nmi(&Clustering::from_labels(&shuffled).filter_small(3), &truth);
+    assert!(
+        quality > control + 0.2,
+        "planted structure must be recovered: quality {quality:.3} vs control {control:.3}"
+    );
+    assert!(quality > 0.5, "absolute quality too low: {quality:.3}");
+}
+
+#[test]
+fn online_stream_preserves_all_invariants_and_matches_rebuild() {
+    let (mut engine, _) = small_engine();
+    let g = engine.graph().clone();
+    let s = stream::uniform_per_step(&g, 25, 0.05, 5);
+    for batch in &s.batches {
+        engine.activate_batch(&batch.edges, batch.time);
+    }
+    engine.check_invariants().unwrap();
+
+    // Live index distances must equal a full rebuild over the same weights.
+    let k = engine.pyramids().k();
+    let levels = engine.num_levels();
+    let live: Vec<f64> = (0..k)
+        .flat_map(|p| (0..levels).map(move |l| (p, l)))
+        .flat_map(|(p, l)| {
+            (0..g.n() as u32).map(move |v| (p, l, v)).collect::<Vec<_>>()
+        })
+        .map(|(p, l, v)| engine.pyramids().partition(p, l).dist(v))
+        .collect();
+    engine.reconstruct_index();
+    let mut idx = 0usize;
+    for p in 0..k {
+        for l in 0..levels {
+            for v in 0..g.n() as u32 {
+                let fresh = engine.pyramids().partition(p, l).dist(v);
+                assert!(
+                    (live[idx] - fresh).abs() <= 1e-6 * (1.0 + fresh.abs()),
+                    "pyramid {p} level {l} node {v}: live {} vs rebuilt {fresh}",
+                    live[idx]
+                );
+                idx += 1;
+            }
+        }
+    }
+}
+
+#[test]
+fn local_queries_agree_with_global_clustering() {
+    let (mut engine, _) = small_engine();
+    let g = engine.graph().clone();
+    let s = stream::uniform_per_step(&g, 10, 0.05, 9);
+    for batch in &s.batches {
+        engine.activate_batch(&batch.edges, batch.time);
+    }
+    for level in [engine.default_level(), engine.num_levels() - 1] {
+        let global = engine.cluster_all(level, ClusterMode::Even);
+        for v in (0..g.n() as u32).step_by(97) {
+            let local = engine.local_cluster(v, level);
+            let mut expected: Vec<u32> = (0..g.n() as u32)
+                .filter(|&x| global.label(x) == global.label(v))
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(local, expected, "node {v} level {level}");
+        }
+    }
+}
+
+#[test]
+fn zoom_out_coarsens_on_average() {
+    // Levels use independently sampled seed sets, so clusters are not
+    // strictly nested; what zoom-out guarantees is a coarser *granularity*:
+    // fewer, larger clusters on average, with the coarsest level dominating
+    // the finest for every query node.
+    let (mut engine, _) = small_engine();
+    let g = engine.graph().clone();
+    let s = stream::uniform_per_step(&g, 5, 0.05, 2);
+    for batch in &s.batches {
+        engine.activate_batch(&batch.edges, batch.time);
+    }
+    let finest = engine.num_levels() - 1;
+    let mut mean_size = vec![0.0f64; engine.num_levels()];
+    let probes: Vec<u32> = (0..g.n() as u32).step_by(53).collect();
+    for &v in &probes {
+        let coarse = engine.local_cluster(v, 0);
+        let fine = engine.local_cluster(v, finest);
+        assert!(
+            coarse.len() >= fine.len(),
+            "coarsest cluster of {v} smaller than finest"
+        );
+        for (level, size) in mean_size.iter_mut().enumerate() {
+            *size += engine.local_cluster(v, level).len() as f64;
+        }
+    }
+    for m in &mut mean_size {
+        *m /= probes.len() as f64;
+    }
+    assert!(
+        mean_size[0] > mean_size[finest],
+        "mean cluster size must shrink from coarsest {:?} to finest",
+        mean_size
+    );
+    // Cluster *counts* grow (weakly) toward finer levels.
+    let counts: Vec<usize> = (0..engine.num_levels())
+        .map(|l| engine.cluster_all(l, ClusterMode::Even).num_clusters())
+        .collect();
+    assert!(counts[finest] >= counts[0], "counts must grow with level: {counts:?}");
+}
+
+#[test]
+fn offline_snapshot_agrees_with_long_lived_online_engine() {
+    let (mut engine, _) = small_engine();
+    let g = engine.graph().clone();
+    let s = stream::community_biased(
+        &g,
+        &registry::by_name("CO").unwrap().materialize_scaled(3, 0.3).labels,
+        20,
+        0.05,
+        4.0,
+        8,
+    );
+    for batch in &s.batches {
+        engine.activate_batch(&batch.edges, batch.time);
+    }
+    let level = engine.default_level();
+    let online = engine.cluster_all(level, ClusterMode::Power).filter_small(3);
+    let snap = engine.offline_snapshot(2);
+    let offline = snap.cluster_all(&g, level, ClusterMode::Power).filter_small(3);
+    let agreement = nmi(&online, &offline);
+    assert!(
+        agreement > 0.4,
+        "ANCO must track ANCF reasonably, agreement {agreement:.3}"
+    );
+}
+
+#[test]
+fn memory_reporting_is_sane() {
+    let (engine, _) = small_engine();
+    let bytes = engine.memory_bytes();
+    let n = engine.graph().n();
+    // At least seed/dist/parent per node per partition.
+    let partitions = engine.pyramids().k() * engine.num_levels();
+    assert!(bytes > partitions * n * 16);
+    assert!(bytes < 1 << 32, "unreasonably large index for a tiny graph");
+}
