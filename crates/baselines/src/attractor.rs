@@ -66,10 +66,8 @@ pub fn cluster(g: &Graph, weights: &[f64], params: &AttractorParams) -> (Cluster
     }
 
     // d(e) = 1 − jaccard(u, v).
-    let mut d: Vec<f64> = g
-        .iter_edges()
-        .map(|(_, u, v)| 1.0 - jaccard(g, weights, &wdeg, u, v))
-        .collect();
+    let mut d: Vec<f64> =
+        g.iter_edges().map(|(_, u, v)| 1.0 - jaccard(g, weights, &wdeg, u, v)).collect();
 
     let sin1 = |x: f64| (1.0 - x).sin();
     let mut iterations = 0usize;

@@ -267,10 +267,6 @@ mod tests {
         let w = vec![1.0; lg.graph.m()];
         let c = cluster(&lg.graph, &w, &LouvainParams::default());
         let truth_k = lg.num_communities();
-        assert!(
-            c.num_clusters() < truth_k,
-            "Louvain {} vs truth {truth_k}",
-            c.num_clusters()
-        );
+        assert!(c.num_clusters() < truth_k, "Louvain {} vs truth {truth_k}", c.num_clusters());
     }
 }

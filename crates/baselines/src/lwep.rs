@@ -50,15 +50,8 @@ impl LwepEngine {
                 best.0
             })
             .collect();
-        let mut engine = Self {
-            g,
-            weights: initial_weights,
-            labels,
-            lambda,
-            now: 0.0,
-            hops: 2,
-            max_sweeps: 5,
-        };
+        let mut engine =
+            Self { g, weights: initial_weights, labels, lambda, now: 0.0, hops: 2, max_sweeps: 5 };
         engine.propagate_all();
         engine
     }
@@ -87,7 +80,11 @@ impl LwepEngine {
         let current_votes = acc.get(&current).copied().unwrap_or(0.0);
         let mut best = (current, current_votes);
         for (&label, &votes) in &acc {
-            if votes > best.1 + 1e-12 || (votes > current_votes + 1e-12 && (votes - best.1).abs() <= 1e-12 && label < best.0) {
+            if votes > best.1 + 1e-12
+                || (votes > current_votes + 1e-12
+                    && (votes - best.1).abs() <= 1e-12
+                    && label < best.0)
+            {
                 best = (label, votes);
             }
         }

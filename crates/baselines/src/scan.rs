@@ -170,9 +170,7 @@ mod tests {
             }
         }
         // Triangle edge is more similar than the pendant edge.
-        assert!(
-            structural_similarity(&g, 0, 1) > structural_similarity(&g, 2, 3)
-        );
+        assert!(structural_similarity(&g, 0, 1) > structural_similarity(&g, 2, 3));
     }
 
     #[test]
@@ -201,17 +199,23 @@ mod tests {
         // Path community downweighted to near zero splits off.
         let lg = connected_caveman(2, 5);
         let g = &lg.graph;
-        let hot: Vec<f64> = g
-            .iter_edges()
-            .map(|(_, u, v)| if lg.labels[u as usize] == 0 && lg.labels[v as usize] == 0 { 5.0 } else { 0.05 })
-            .collect();
+        let hot: Vec<f64> =
+            g.iter_edges()
+                .map(|(_, u, v)| {
+                    if lg.labels[u as usize] == 0 && lg.labels[v as usize] == 0 {
+                        5.0
+                    } else {
+                        0.05
+                    }
+                })
+                .collect();
         let c = cluster_weighted(g, &hot, &ScanParams { epsilon: 0.35, mu: 3 });
         // Clique 0 must survive as one cluster; clique 1's similarity shrinks.
         let c0: Vec<u32> = (0..5).map(|v| c.label(v)).collect();
         assert!(c0.iter().all(|&l| l == c0[0] && l != NOISE), "{c0:?}");
     }
 
-#[test]
+    #[test]
     fn hubs_and_outliers() {
         // Two triangles bridged by a noise node 6; node 7 dangles off one
         // triangle; node 8 is isolated.

@@ -49,9 +49,8 @@ pub fn cluster(g: &Graph, weights: &[f64], params: &SpectralParams, seed: u64) -
     // Orthogonal iteration on M = D^{-1/2} W D^{-1/2} (+ small self-loop to
     // break bipartite oscillation), starting from a random orthonormal basis.
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut basis: Vec<Vec<f64>> = (0..k)
-        .map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
-        .collect();
+    let mut basis: Vec<Vec<f64>> =
+        (0..k).map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
     orthonormalize(&mut basis);
     let matvec = |x: &[f64], out: &mut [f64]| {
         for (o, xi) in out.iter_mut().zip(x) {
@@ -119,9 +118,8 @@ fn kmeans(rows: &[Vec<f64>], k: usize, iters: usize, rng: &mut ChaCha8Rng) -> Ve
         return vec![];
     }
     let dim = rows[0].len();
-    let d2 = |a: &[f64], b: &[f64]| -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-    };
+    let d2 =
+        |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
 
     // k-means++ seeding.
     let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
@@ -202,12 +200,7 @@ mod tests {
     fn recovers_caveman_cliques() {
         let lg = connected_caveman(4, 8);
         let w = vec![1.0; lg.graph.m()];
-        let c = cluster(
-            &lg.graph,
-            &w,
-            &SpectralParams { k: 4, ..Default::default() },
-            7,
-        );
+        let c = cluster(&lg.graph, &w, &SpectralParams { k: 4, ..Default::default() }, 7);
         let truth = Clustering::from_labels(&lg.labels);
         let score = anc_metrics::nmi(&c, &truth);
         assert!(score > 0.9, "spectral should nail cliques, NMI = {score}");
@@ -243,7 +236,9 @@ mod tests {
         assert!(clean_score > 0.9);
         let hot_bridge: Vec<f64> = g
             .iter_edges()
-            .map(|(_, u, v)| if lg.labels[u as usize] != lg.labels[v as usize] { 30.0 } else { 0.1 })
+            .map(
+                |(_, u, v)| if lg.labels[u as usize] != lg.labels[v as usize] { 30.0 } else { 0.1 },
+            )
             .collect();
         let c_hot = cluster(g, &hot_bridge, &SpectralParams { k: 2, ..Default::default() }, 4);
         let hot_score = anc_metrics::nmi(&c_hot, &truth);

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use anc_core::voronoi::VoronoiPartition;
-use anc_core::{AncConfig, AncEngine};
+use anc_core::{AncConfig, AncEngine, BatchMode};
 use anc_graph::gen::{planted_partition, PlantedConfig};
 
 fn bench_engine_update(c: &mut Criterion) {
@@ -34,11 +34,66 @@ fn bench_engine_update(c: &mut Criterion) {
     group.finish();
 }
 
+/// The batch-ingestion pipeline (DESIGN.md §7): a 256-activation batch
+/// through the serial loop vs the exact and fused batch paths. The fused
+/// run also prints one `BatchStats` line so σ-dedup and repair-skip
+/// counters are visible alongside the timings.
+fn bench_batch_ingest(c: &mut Criterion) {
+    let lg = planted_partition(&PlantedConfig::default_for(2000), 5);
+    let m = lg.graph.m() as u32;
+    let batch: Vec<u32> = (0..256u32).map(|i| (i * 101) % m).collect();
+    let mut group = c.benchmark_group("batch_ingest");
+    group.sample_size(10);
+
+    group.bench_function("serial_loop_256", |b| {
+        let cfg = AncConfig { rep: 1, ..Default::default() };
+        let mut engine = AncEngine::new(lg.graph.clone(), cfg, 1);
+        let mut t = 1.0;
+        b.iter(|| {
+            t += 0.01;
+            for &e in &batch {
+                engine.activate(black_box(e), t);
+            }
+        })
+    });
+
+    for (name, mode) in
+        [("exact_batch_256", BatchMode::Exact), ("fused_batch_256", BatchMode::Fused)]
+    {
+        group.bench_function(name, |b| {
+            let cfg = AncConfig { rep: 1, batch: mode, ..Default::default() };
+            let mut engine = AncEngine::new(lg.graph.clone(), cfg, 1);
+            let mut t = 1.0;
+            let mut reported = false;
+            b.iter(|| {
+                t += 0.01;
+                let stats = engine.activate_batch(black_box(&batch), t);
+                if !reported {
+                    reported = true;
+                    eprintln!(
+                        "[{name}] stats: dirty={} sigma={} repairs={} skips={}",
+                        stats.dirty_edges,
+                        stats.sigma_recomputes,
+                        stats.repair_updates,
+                        stats.repair_skips
+                    );
+                }
+                black_box(stats.dirty_edges)
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_voronoi_repair(c: &mut Criterion) {
     let lg = planted_partition(&PlantedConfig::default_for(2000), 9);
     let g = &lg.graph;
     let mut w = vec![1.0f64; g.m()];
-    let seeds: Vec<u32> = (0..32u32).map(|i| i * 53 % g.n() as u32).collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+    let seeds: Vec<u32> = (0..32u32)
+        .map(|i| i * 53 % g.n() as u32)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
     let mut group = c.benchmark_group("voronoi_repair");
     group.sample_size(20);
 
@@ -62,5 +117,5 @@ fn bench_voronoi_repair(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine_update, bench_voronoi_repair);
+criterion_group!(benches, bench_engine_update, bench_batch_ingest, bench_voronoi_repair);
 criterion_main!(benches);

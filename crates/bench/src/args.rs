@@ -23,12 +23,8 @@ impl HarnessArgs {
 
     /// Parses an explicit iterator (testable).
     pub fn from_iter<I: IntoIterator<Item = String>>(args: I, default_scale: f64) -> Self {
-        let mut out = Self {
-            scale: default_scale,
-            seed: 42,
-            datasets: Vec::new(),
-            flags: Vec::new(),
-        };
+        let mut out =
+            Self { scale: default_scale, seed: 42, datasets: Vec::new(), flags: Vec::new() };
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
             match a.as_str() {

@@ -25,12 +25,7 @@ fn main() {
         let acts = s.total_activations();
         for k in [4usize, 16] {
             for parallel in [false, true] {
-                let cfg = AncConfig {
-                    k,
-                    rep: 1,
-                    parallel_updates: parallel,
-                    ..Default::default()
-                };
+                let cfg = AncConfig { k, rep: 1, parallel_updates: parallel, ..Default::default() };
                 let mut engine = AncEngine::new(g.clone(), cfg, args.seed);
                 let (_, total) = time(|| {
                     for batch in &s.batches {

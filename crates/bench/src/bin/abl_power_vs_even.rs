@@ -28,10 +28,8 @@ fn main() {
     eprintln!("[ablA1] CA stand-in: n = {}, m = {}", g.n(), g.m());
 
     // Oracle votes: keep intra-community edges.
-    let oracle: Vec<bool> = g
-        .iter_edges()
-        .map(|(_, u, v)| ds.labels[u as usize] == ds.labels[v as usize])
-        .collect();
+    let oracle: Vec<bool> =
+        g.iter_edges().map(|(_, u, v)| ds.labels[u as usize] == ds.labels[v as usize]).collect();
 
     let mut table = Table::new(vec!["flip %", "even NMI", "power NMI", "even k", "power k"]);
     let mut json = Vec::new();

@@ -30,7 +30,10 @@ fn main() {
     let policies: Vec<(&str, RescaleConfig)> = vec![
         ("every 64 acts", RescaleConfig { every_activations: 64, exponent_guard: 200.0 }),
         ("every 4096 acts", RescaleConfig { every_activations: 4096, exponent_guard: 200.0 }),
-        ("guard-only (200)", RescaleConfig { every_activations: usize::MAX, exponent_guard: 200.0 }),
+        (
+            "guard-only (200)",
+            RescaleConfig { every_activations: usize::MAX, exponent_guard: 200.0 },
+        ),
         ("guard-only (50)", RescaleConfig { every_activations: usize::MAX, exponent_guard: 50.0 }),
     ];
 
@@ -68,10 +71,7 @@ fn main() {
     for c in &clusterings[1..] {
         let agreement = anc_metrics::nmi(c, &clusterings[0]);
         min_agreement = min_agreement.min(agreement);
-        assert!(
-            agreement > 0.98,
-            "rescale policies diverged beyond float noise: NMI {agreement}"
-        );
+        assert!(agreement > 0.98, "rescale policies diverged beyond float noise: NMI {agreement}");
     }
 
     println!("\n=== Ablation A4: batched-rescale policy (CA stand-in, λ = 1.0, 500 steps) ===");

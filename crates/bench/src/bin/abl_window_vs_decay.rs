@@ -16,8 +16,8 @@
 use anc_baselines::louvain;
 use anc_bench::args::HarnessArgs;
 use anc_bench::report::{f3, write_json, Table};
-use anc_decay::{ActivenessStore, DecayClock, Rescalable, SlidingWindow};
 use anc_data::{registry, stream};
+use anc_decay::{ActivenessStore, DecayClock, Rescalable, SlidingWindow};
 use anc_metrics::nmi;
 
 fn main() {

@@ -17,10 +17,7 @@ use anc_graph::{algo, traverse};
 fn main() {
     let args = HarnessArgs::parse(1.0);
     let names: Vec<String> = if args.datasets.is_empty() {
-        ["CO", "FB", "CA", "MI", "LA", "CM", "IE", "GI"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect()
+        ["CO", "FB", "CA", "MI", "LA", "CM", "IE", "GI"].iter().map(|s| s.to_string()).collect()
     } else {
         args.datasets.clone()
     };

@@ -1,0 +1,132 @@
+//! **Exp 10** — batch-ingestion pipeline throughput (DESIGN.md §7).
+//!
+//! Streams ~100k activations into the engine three ways and reports
+//! ingest throughput plus the pipeline's [`BatchStats`] counters:
+//!
+//! * `serial` — the per-activation ANCO path (`activate` in a loop), the
+//!   pre-pipeline baseline;
+//! * `exact`  — `activate_batch` in [`BatchMode::Exact`]: bit-identical
+//!   results, repairs grouped into one parallel fan-out per batch;
+//! * `fused`  — `activate_batch` in [`BatchMode::Fused`]: σ deduplicated
+//!   across the batch and recomputed in parallel.
+//!
+//! The batch modes are swept over `RAYON_NUM_THREADS` ∈ {1, 2, 4, 8}; the
+//! serial baseline is thread-independent. Results land in
+//! `results/BENCH_update.json`.
+//!
+//! Usage: `cargo run --release -p anc-bench --bin exp10_batch_ingest
+//! [--scale f] [--seed s]`
+
+use anc_bench::args::HarnessArgs;
+use anc_bench::report::{secs, write_json, Table};
+use anc_bench::time;
+use anc_core::{AncConfig, AncEngine, BatchMode, BatchStats};
+use anc_data::stream;
+use anc_graph::gen::{planted_partition, PlantedConfig};
+
+fn main() {
+    let args = HarnessArgs::parse(1.0);
+    let n = ((4000.0 * args.scale) as usize).max(200);
+    let lg = planted_partition(&PlantedConfig::default_for(n), args.seed);
+    let g = lg.graph;
+    let steps = 100usize;
+    // ~100k activations at scale 1 (frac is per-step fraction of edges).
+    let target = (100_000.0 * args.scale) as usize;
+    let frac = (target as f64 / steps as f64 / g.m() as f64).min(1.0);
+    let s = stream::uniform_per_step(&g, steps, frac, args.seed ^ 0x2a);
+    let acts = s.total_activations();
+    let cfg = AncConfig { rep: 1, ..Default::default() };
+    eprintln!("[exp10] n={} m={} stream={} activations in {} batches", g.n(), g.m(), acts, steps);
+
+    let mut table = Table::new(vec!["mode", "threads", "total sec", "acts/sec", "speedup"]);
+    let mut runs = Vec::new();
+
+    // Baseline: the per-activation path (repairs after every activation).
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let mut baseline = AncEngine::new(g.clone(), cfg.clone(), args.seed);
+    let (_, serial_total) = time(|| {
+        for batch in &s.batches {
+            for &e in &batch.edges {
+                baseline.activate(e, batch.time);
+            }
+        }
+    });
+    eprintln!("[exp10] serial: {serial_total:.3}s ({:.0} acts/s)", acts as f64 / serial_total);
+    table.row(vec![
+        "serial".into(),
+        "-".into(),
+        secs(serial_total),
+        format!("{:.0}", acts as f64 / serial_total),
+        "1.00x".into(),
+    ]);
+    runs.push(serde_json::json!({
+        "mode": "serial", "threads": 1, "secs": serial_total,
+        "acts_per_sec": acts as f64 / serial_total, "speedup_vs_serial": 1.0,
+    }));
+
+    for mode in [BatchMode::Exact, BatchMode::Fused] {
+        for threads in [1usize, 2, 4, 8] {
+            std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+            let cfg = AncConfig { batch: mode, ..cfg.clone() };
+            let mut engine = AncEngine::new(g.clone(), cfg, args.seed);
+            let mut agg = BatchStats::default();
+            let (_, total) = time(|| {
+                for batch in &s.batches {
+                    let st = engine.activate_batch(&batch.edges, batch.time);
+                    agg.dirty_edges += st.dirty_edges;
+                    agg.sigma_recomputes += st.sigma_recomputes;
+                    agg.repair_updates += st.repair_updates;
+                    agg.repair_skips += st.repair_skips;
+                }
+            });
+            // Honesty check: the exact mode must reproduce the baseline
+            // similarities bit for bit.
+            if mode == BatchMode::Exact {
+                let identical = engine
+                    .sim_anchored()
+                    .iter()
+                    .zip(baseline.sim_anchored())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(identical, "exact batch diverged from serial baseline");
+            }
+            let name = match mode {
+                BatchMode::Exact => "exact",
+                BatchMode::Fused => "fused",
+            };
+            let speedup = serial_total / total;
+            eprintln!(
+                "[exp10] {name} t={threads}: {total:.3}s ({speedup:.2}x) — σ {} repairs {} skips {}",
+                agg.sigma_recomputes, agg.repair_updates, agg.repair_skips
+            );
+            table.row(vec![
+                name.into(),
+                threads.to_string(),
+                secs(total),
+                format!("{:.0}", acts as f64 / total),
+                format!("{speedup:.2}x"),
+            ]);
+            runs.push(serde_json::json!({
+                "mode": name, "threads": threads, "secs": total,
+                "acts_per_sec": acts as f64 / total, "speedup_vs_serial": speedup,
+                "stats": serde_json::json!({
+                    "edges_in": acts, "dirty_edges": agg.dirty_edges,
+                    "sigma_recomputes": agg.sigma_recomputes,
+                    "repair_updates": agg.repair_updates, "repair_skips": agg.repair_skips,
+                }),
+            }));
+        }
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    println!("\n=== Exp 10: batch-ingestion throughput ===");
+    table.print();
+    let payload = serde_json::json!({
+        "experiment": "batch_ingest",
+        "graph": serde_json::json!({ "n": g.n(), "m": g.m() }),
+        "stream": serde_json::json!({ "activations": acts, "batches": steps }),
+        "hardware_threads": std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        "runs": runs,
+    });
+    let path = write_json("BENCH_update", &payload).unwrap();
+    println!("\n[exp10] JSON written to {}", path.display());
+}

@@ -32,8 +32,7 @@ fn main() {
         args.datasets.clone()
     };
 
-    let methods: Vec<&str> =
-        vec!["SCAN", "ATTR", "LOUV", "LWEP", "ANCF1", "ANCF5", "ANCF9"];
+    let methods: Vec<&str> = vec!["SCAN", "ATTR", "LOUV", "LWEP", "ANCF1", "ANCF5", "ANCF9"];
     let mut per_measure: std::collections::HashMap<String, Table> = Default::default();
     for measure in ["Modularity", "Conductance", "NMI", "Purity", "F1-Measure"] {
         let mut headers = vec!["method".to_string()];
@@ -52,12 +51,7 @@ fn main() {
         let ds = spec.materialize_scaled(args.seed, factor);
         let g = &ds.graph;
         let w = vec![1.0f64; g.m()];
-        let truth_k = ds
-            .labels
-            .iter()
-            .copied()
-            .max()
-            .map_or(1, |m| m as usize + 1);
+        let truth_k = ds.labels.iter().copied().max().map_or(1, |m| m as usize + 1);
         // The paper's protocol: on LA/AM/YT the ground-truth count is beyond
         // the range of cluster numbers the pyramids produce, so the target is
         // the number SCAN finds instead (Section VI-A).

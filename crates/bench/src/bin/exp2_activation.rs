@@ -86,9 +86,7 @@ fn main() {
         let mut baseline_sampled_acts = 0usize;
 
         // t = 0 evaluation, then the stream.
-        for (step_idx, batch) in std::iter::once(None)
-            .chain(s.batches.iter().map(Some))
-            .enumerate()
+        for (step_idx, batch) in std::iter::once(None).chain(s.batches.iter().map(Some)).enumerate()
         {
             if let Some(batch) = batch {
                 // Decay + activate the shared weight view.
@@ -146,11 +144,7 @@ fn main() {
             let truth = spectral::cluster(
                 &g,
                 &weights,
-                &spectral::SpectralParams {
-                    k: target_k,
-                    power_iters: 15,
-                    kmeans_iters: 15,
-                },
+                &spectral::SpectralParams { k: target_k, power_iters: 15, kmeans_iters: 15 },
                 args.seed ^ 0x67,
             );
             let truth_labels = truth.labels().to_vec();
@@ -202,7 +196,8 @@ fn main() {
         let acts_per_eval = total_acts as f64 / evals.max(1) as f64;
         for key in ["SCAN", "ATTR", "LOUV", "ANCF"] {
             let avg_snapshot = t_offline.get(key).copied().unwrap_or(0.0) / evals.max(1) as f64;
-            amortized.entry(Box::leak(key.to_string().into_boxed_str()))
+            amortized
+                .entry(Box::leak(key.to_string().into_boxed_str()))
                 .or_default()
                 .push(avg_snapshot / acts_per_eval);
         }
@@ -230,9 +225,8 @@ fn main() {
     let mut fin = Table::new(vec!["dataset", "method", "NMI", "Purity", "F1"]);
     for name in &names {
         for method in ["ANCF", "ANCOR", "ANCO", "DYNA", "LWEP", "SCAN", "ATTR", "LOUV"] {
-            let last = quality_json
-                .iter()
-                .rfind(|j| j["dataset"] == *name && j["method"] == method);
+            let last =
+                quality_json.iter().rfind(|j| j["dataset"] == *name && j["method"] == method);
             if let Some(j) = last {
                 fin.row(vec![
                     name.clone(),

@@ -19,10 +19,7 @@ use anc_data::registry;
 fn main() {
     let args = HarnessArgs::parse(1.0);
     let names: Vec<String> = if args.datasets.is_empty() {
-        ["CA", "MI", "LA", "CM", "IE", "GI", "EA", "DB"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect()
+        ["CA", "MI", "LA", "CM", "IE", "GI", "EA", "DB"].iter().map(|s| s.to_string()).collect()
     } else {
         args.datasets.clone()
     };

@@ -51,8 +51,7 @@ fn main() {
         let mut recon_row = vec![name.clone(), "RECONSTRUCT".to_string()];
         let mut t = engine.now();
         for p in batch_pows.clone() {
-            let batch: Vec<u32> =
-                (0..(1usize << p)).map(|_| rng.gen_range(0..m as u32)).collect();
+            let batch: Vec<u32> = (0..(1usize << p)).map(|_| rng.gen_range(0..m as u32)).collect();
             t += 1.0;
             let (_, secs_update) = time(|| engine.activate_batch(&batch, t));
             let (_, secs_recon) = time(|| engine.reconstruct_index());

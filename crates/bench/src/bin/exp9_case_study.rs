@@ -39,10 +39,10 @@ const GROUPS: &[&[u32]] = &[
 /// v8 collaborates with (primary, secondary) members of each community over
 /// the year range [from, to]; the primary is the paper's highlighted node.
 const SCHEDULE: &[(u32, u32, u32, u32)] = &[
-    (7, 10, 5, 11),  // v7's group, years 5–11
+    (7, 10, 5, 11),   // v7's group, years 5–11
     (11, 14, 11, 22), // v11's group, years 11–22
-    (0, 1, 11, 30),  // v0's group, years 11–30
-    (5, 4, 17, 26),  // v5's group, years 17–26
+    (0, 1, 11, 30),   // v0's group, years 11–30
+    (5, 4, 17, 26),   // v5's group, years 17–26
     (26, 25, 23, 30), // v26's group, years 23–30
 ];
 
@@ -115,11 +115,8 @@ fn main() {
         let mut snapshot = serde_json::json!({ "year": year });
         for level in [1usize, 2] {
             let cluster = engine.local_cluster(8, level);
-            let highlighted: Vec<u32> = SCHEDULE
-                .iter()
-                .map(|&(p, _, _, _)| p)
-                .filter(|v| cluster.contains(v))
-                .collect();
+            let highlighted: Vec<u32> =
+                SCHEDULE.iter().map(|&(p, _, _, _)| p).filter(|v| cluster.contains(v)).collect();
             println!(
                 "cluster of v8 at level l{}: {} nodes, highlighted members {:?}",
                 level + 1,

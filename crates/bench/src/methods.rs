@@ -163,7 +163,9 @@ mod tests {
         let w: Vec<f64> = lg
             .graph
             .iter_edges()
-            .map(|(_, u, v)| if lg.labels[u as usize] == lg.labels[v as usize] { 0.2 } else { 60.0 })
+            .map(
+                |(_, u, v)| if lg.labels[u as usize] == lg.labels[v as usize] { 0.2 } else { 60.0 },
+            )
             .collect();
         let pyr = Pyramids::build(&lg.graph, &w, 4, 0.7, 5);
         let level = pick_level(&lg.graph, &pyr, 8, ClusterMode::Power);

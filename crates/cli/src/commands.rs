@@ -26,9 +26,7 @@ fn load_engine(opts: &Options) -> Result<AncEngine, String> {
 
 fn save_engine(engine: &AncEngine, path: &str) -> Result<(), String> {
     let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
-    engine
-        .save_json(BufWriter::new(file))
-        .map_err(|e| format!("cannot write {path}: {e}"))
+    engine.save_json(BufWriter::new(file)).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 /// `anc generate`: materialize a registry dataset as an edge list (plus
@@ -220,11 +218,8 @@ pub fn query(opts: &Options) -> Result<String, String> {
     level = level.saturating_sub(zoom_out);
     let cluster = engine.local_cluster(node, level);
     let mut s = String::new();
-    let _ = writeln!(
-        s,
-        "node {node} at level {level}: active community of {} nodes",
-        cluster.len()
-    );
+    let _ =
+        writeln!(s, "node {node} at level {level}: active community of {} nodes", cluster.len());
     let preview: Vec<u32> = cluster.iter().copied().take(20).collect();
     let _ = writeln!(s, "members (first 20): {preview:?}");
     Ok(s)

@@ -53,11 +53,21 @@ pub fn usage() -> String {
     let _ = writeln!(s, "anc — activation-network clustering (Feng, Qiao, Cheng; ICDE 2022)");
     let _ = writeln!(s);
     let _ = writeln!(s, "commands:");
-    let _ = writeln!(s, "  generate  --dataset NAME --out FILE [--labels FILE] [--scale F] [--seed S]");
+    let _ =
+        writeln!(s, "  generate  --dataset NAME --out FILE [--labels FILE] [--scale F] [--seed S]");
     let _ = writeln!(s, "  stats     --graph FILE");
-    let _ = writeln!(s, "  index     --graph FILE --out FILE [--rep N] [--k N] [--lambda F] [--seed S]");
-    let _ = writeln!(s, "  stream    --engine FILE --out FILE (--steps N [--frac F] [--seed S] | --trace FILE)");
-    let _ = writeln!(s, "  trace     --graph FILE --steps N --out FILE [--frac F] [--seed S] [--kind uniform|day]");
+    let _ = writeln!(
+        s,
+        "  index     --graph FILE --out FILE [--rep N] [--k N] [--lambda F] [--seed S]"
+    );
+    let _ = writeln!(
+        s,
+        "  stream    --engine FILE --out FILE (--steps N [--frac F] [--seed S] | --trace FILE)"
+    );
+    let _ = writeln!(
+        s,
+        "  trace     --graph FILE --steps N --out FILE [--frac F] [--seed S] [--kind uniform|day]"
+    );
     let _ = writeln!(s, "  clusters  --engine FILE [--level L] [--mode power|even]");
     let _ = writeln!(s, "  query     --engine FILE --node V [--level L] [--zoom-out N]");
     let _ = writeln!(s, "  distance  --engine FILE --from U --to V");

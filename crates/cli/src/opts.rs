@@ -42,9 +42,7 @@ impl Options {
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| format!("--{name}: cannot parse {raw:?}")),
+            Some(raw) => raw.parse().map_err(|_| format!("--{name}: cannot parse {raw:?}")),
         }
     }
 

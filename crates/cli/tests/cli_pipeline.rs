@@ -28,8 +28,17 @@ fn full_pipeline() {
 
     // generate
     let out = run(&argv(&[
-        "generate", "--dataset", "CO", "--scale", "0.2", "--seed", "5", "--out", gp,
-        "--labels", lp,
+        "generate",
+        "--dataset",
+        "CO",
+        "--scale",
+        "0.2",
+        "--seed",
+        "5",
+        "--out",
+        gp,
+        "--labels",
+        lp,
     ]))
     .unwrap();
     assert!(out.contains("generated CO"), "{out}");
@@ -41,18 +50,16 @@ fn full_pipeline() {
     assert!(out.contains("triangles"), "{out}");
 
     // index
-    let out = run(&argv(&[
-        "index", "--graph", gp, "--out", ep, "--rep", "1", "--k", "2", "--seed", "5",
-    ]))
-    .unwrap();
+    let out =
+        run(&argv(&["index", "--graph", gp, "--out", ep, "--rep", "1", "--k", "2", "--seed", "5"]))
+            .unwrap();
     assert!(out.contains("indexed"), "{out}");
     assert!(engine.exists());
 
     // stream
-    let out = run(&argv(&[
-        "stream", "--engine", ep, "--steps", "5", "--frac", "0.05", "--out", ep2,
-    ]))
-    .unwrap();
+    let out =
+        run(&argv(&["stream", "--engine", ep, "--steps", "5", "--frac", "0.05", "--out", ep2]))
+            .unwrap();
     assert!(out.contains("streamed"), "{out}");
 
     // clusters
@@ -74,15 +81,11 @@ fn full_pipeline() {
     let tp = trace.to_str().unwrap();
     let ea = dir.join("ea.json");
     let eb = dir.join("eb.json");
-    let out = run(&argv(&[
-        "trace", "--graph", gp, "--steps", "4", "--out", tp, "--seed", "9",
-    ]))
-    .unwrap();
+    let out =
+        run(&argv(&["trace", "--graph", gp, "--steps", "4", "--out", tp, "--seed", "9"])).unwrap();
     assert!(out.contains("trace with"), "{out}");
-    run(&argv(&["stream", "--engine", ep, "--trace", tp, "--out", ea.to_str().unwrap()]))
-        .unwrap();
-    run(&argv(&["stream", "--engine", ep, "--trace", tp, "--out", eb.to_str().unwrap()]))
-        .unwrap();
+    run(&argv(&["stream", "--engine", ep, "--trace", tp, "--out", ea.to_str().unwrap()])).unwrap();
+    run(&argv(&["stream", "--engine", ep, "--trace", tp, "--out", eb.to_str().unwrap()])).unwrap();
     let a = std::fs::read(&ea).unwrap();
     let b = std::fs::read(&eb).unwrap();
     assert_eq!(a, b, "trace replay must be deterministic");
@@ -99,8 +102,8 @@ fn helpful_errors() {
     assert!(err.contains("unknown dataset"), "{err}");
     let err = run(&argv(&["stats"])).unwrap_err();
     assert!(err.contains("--graph"), "{err}");
-    let err = run(&argv(&["index", "--graph", "/nonexistent/file", "--out", "/tmp/x"]))
-        .unwrap_err();
+    let err =
+        run(&argv(&["index", "--graph", "/nonexistent/file", "--out", "/tmp/x"])).unwrap_err();
     assert!(err.contains("cannot open"), "{err}");
     let help = run(&argv(&["help"])).unwrap();
     assert!(help.contains("commands:"), "{help}");
@@ -117,8 +120,8 @@ fn query_bounds_checked() {
     run(&argv(&["index", "--graph", gp, "--out", ep, "--rep", "0", "--k", "2"])).unwrap();
     let err = run(&argv(&["query", "--engine", ep, "--node", "999999"])).unwrap_err();
     assert!(err.contains("--node must be"), "{err}");
-    let err = run(&argv(&["distance", "--engine", ep, "--from", "0", "--to", "999999"]))
-        .unwrap_err();
+    let err =
+        run(&argv(&["distance", "--engine", ep, "--from", "0", "--to", "999999"])).unwrap_err();
     assert!(err.contains("must be"), "{err}");
     std::fs::remove_dir_all(&dir).ok();
 }

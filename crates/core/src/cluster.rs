@@ -68,9 +68,7 @@ pub fn power_clustering_with<F: Fn(EdgeId) -> bool>(g: &Graph, keep: F) -> Clust
     }
     let mut order: Vec<NodeId> = (0..n as NodeId).collect();
     order.sort_unstable_by(|&a, &b| {
-        kept_deg[b as usize]
-            .cmp(&kept_deg[a as usize])
-            .then_with(|| a.cmp(&b))
+        kept_deg[b as usize].cmp(&kept_deg[a as usize]).then_with(|| a.cmp(&b))
     });
     // points(a → b): a ranks strictly above b.
     let points = |a: NodeId, b: NodeId| {
@@ -103,9 +101,9 @@ pub fn power_clustering_with<F: Fn(EdgeId) -> bool>(g: &Graph, keep: F) -> Clust
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pyramid::Pyramids;
     use anc_graph::gen::{connected_caveman, paper_figure2};
     use anc_graph::Graph;
-    use crate::pyramid::Pyramids;
 
     /// Paper Example 5: at level 3 the edges (v1,v2), (v1,v3), (v4,v13),
     /// (v5,v6), (v6,v9), (v6,v10), (v8,v12), (v8,v11) are voted in. Power
@@ -113,19 +111,11 @@ mod tests {
     #[test]
     fn paper_example_5_power_clustering() {
         let (g, _) = paper_figure2();
-        let voted: Vec<EdgeId> = [
-            (1u32, 2u32),
-            (1, 3),
-            (4, 13),
-            (5, 6),
-            (6, 9),
-            (6, 10),
-            (8, 12),
-            (8, 11),
-        ]
-        .iter()
-        .map(|&(a, b)| g.edge_id(a - 1, b - 1).unwrap())
-        .collect();
+        let voted: Vec<EdgeId> =
+            [(1u32, 2u32), (1, 3), (4, 13), (5, 6), (6, 9), (6, 10), (8, 12), (8, 11)]
+                .iter()
+                .map(|&(a, b)| g.edge_id(a - 1, b - 1).unwrap())
+                .collect();
         let kept = {
             let mut k = vec![false; g.m()];
             for &e in &voted {
@@ -141,13 +131,8 @@ mod tests {
             gp.sort_unstable();
         }
         groups.sort();
-        let mut expected = vec![
-            vec![4u32, 5, 8, 9],
-            vec![0, 1, 2],
-            vec![3, 12],
-            vec![7, 10, 11],
-            vec![6],
-        ];
+        let mut expected =
+            vec![vec![4u32, 5, 8, 9], vec![0, 1, 2], vec![3, 12], vec![7, 10, 11], vec![6]];
         for e in &mut expected {
             e.sort_unstable();
         }
@@ -227,7 +212,9 @@ mod tests {
         // Weight edges by planted structure: intra light (similar), bridges heavy.
         let w: Vec<f64> = g
             .iter_edges()
-            .map(|(_, u, v)| if lg.labels[u as usize] == lg.labels[v as usize] { 0.2 } else { 50.0 })
+            .map(
+                |(_, u, v)| if lg.labels[u as usize] == lg.labels[v as usize] { 0.2 } else { 50.0 },
+            )
             .collect();
         let pyr = Pyramids::build(g, &w, 4, 0.7, 11);
         let level = pyr.num_levels() - 1; // finest granularity: 2^(levels-1) ≥ n/2 seeds
@@ -239,7 +226,7 @@ mod tests {
         assert_eq!(coarse.num_clusters(), 1);
     }
 
-#[test]
+    #[test]
     fn no_votes_gives_singletons() {
         let (g, _) = paper_figure2();
         let power = power_clustering_with(&g, |_| false);

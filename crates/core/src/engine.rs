@@ -21,16 +21,44 @@
 //! pyramid distances absorb `1/g` (NegM, Lemma 10). The rescale never
 //! changes any comparison outcome, so the index structure is untouched.
 
+use std::time::{Duration, Instant};
+
 use anc_decay::{ActivenessStore, DecayClock, MaintainClass, Rescalable, Time};
 use anc_graph::{EdgeId, Graph, NodeId};
 use anc_metrics::Clustering;
+use rayon::prelude::*;
 
 use crate::cluster::{cluster_all, ClusterMode};
-use crate::config::AncConfig;
+use crate::config::{AncConfig, BatchMode};
 use crate::pyramid::Pyramids;
 use crate::query;
-use crate::reinforce::{apply_reinforcement, ReinforceParams};
-use crate::similarity::{NodeType, Scratch, SimilarityCtx};
+use crate::reinforce::{
+    apply_reinforcement, apply_reinforcement_cached, CachedTrigger, ReinforceParams,
+};
+use crate::similarity::{NodeType, Scratch, ScratchPool, SimilarityCtx};
+
+/// Counters and timing from one [`AncEngine::activate_batch`] (or
+/// [`AncEngine::activate_batch_adaptive`]) call — the observability surface
+/// of the batch-ingestion pipeline (see DESIGN.md §7).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchStats {
+    /// Activations fed into the batch.
+    pub edges_in: usize,
+    /// Distinct edges whose weight actually changed (the dirty set).
+    pub dirty_edges: usize,
+    /// `sigma_all` evaluations performed: two per activation on the exact
+    /// path, one per distinct trigger node on the fused path.
+    pub sigma_recomputes: usize,
+    /// Bounded Voronoi updates executed across all partitions.
+    pub repair_updates: usize,
+    /// Delta × partition pairs short-circuited by the no-op precheck.
+    pub repair_skips: usize,
+    /// Whether the adaptive path chose a full index rebuild instead of
+    /// grouped repairs.
+    pub rebuilt: bool,
+    /// Wall time of the whole batch call.
+    pub wall: Duration,
+}
 
 /// The online activation-network clustering engine (ANCO core).
 ///
@@ -68,6 +96,9 @@ pub struct AncEngine {
     /// Index RNG seed (reused by offline rebuilds for comparability).
     index_seed: u64,
     scratch: Scratch,
+    /// Per-worker scratch buffers for the fused batch path's parallel σ
+    /// phase (allocated lazily, reused across batches).
+    sigma_pool: ScratchPool,
     /// Running sum of the anchored similarities (for the relative floor).
     sim_sum: f64,
     /// Total activations processed.
@@ -120,6 +151,7 @@ impl AncEngine {
         let recip: Vec<f64> = sim.iter().map(|s| 1.0 / s).collect();
         let pyramids = Pyramids::build(&g, &recip, cfg.k, cfg.theta, seed);
         let sim_sum = sim.iter().sum();
+        let sigma_pool = ScratchPool::new(g.n());
         Self {
             g,
             cfg,
@@ -131,6 +163,7 @@ impl AncEngine {
             pyramids,
             index_seed: seed,
             scratch,
+            sigma_pool,
             sim_sum,
             activations: 0,
             rescales: 0,
@@ -191,11 +224,7 @@ impl AncEngine {
 
     /// Node classification under the configured `(ε, µ)`.
     pub fn node_type(&mut self, v: NodeId) -> NodeType {
-        let ctx = SimilarityCtx {
-            g: &self.g,
-            act: self.act.as_slice(),
-            node_sum: &self.node_sum,
-        };
+        let ctx = SimilarityCtx { g: &self.g, act: self.act.as_slice(), node_sum: &self.node_sum };
         ctx.node_type(v, self.cfg.epsilon, self.cfg.mu, &mut self.scratch)
     }
 
@@ -211,8 +240,7 @@ impl AncEngine {
         ReinforceParams {
             epsilon: self.cfg.epsilon,
             mu: self.cfg.mu,
-            floor_anchored: (self.cfg.floor * self.clock.boost())
-                .max(self.cfg.floor_rel * mean),
+            floor_anchored: (self.cfg.floor * self.clock.boost()).max(self.cfg.floor_rel * mean),
         }
     }
 
@@ -273,11 +301,196 @@ impl AncEngine {
         }
     }
 
-    /// Processes a batch of activations arriving at the same time `t`.
-    pub fn activate_batch(&mut self, edges: &[EdgeId], t: Time) {
-        for &e in edges {
-            self.activate(e, t);
+    /// Processes a batch of activations arriving at the same time `t`
+    /// through the batch-ingestion pipeline (DESIGN.md §7).
+    ///
+    /// Instead of repairing all `k·⌈log₂ n⌉` partitions after every single
+    /// activation, weight deltas are accumulated and fed to the index as one
+    /// grouped [`Pyramids::on_weight_change_batch`] fan-out — one parallel
+    /// pass over the partitions per batch, with inert deltas short-circuited
+    /// by an exact no-op precheck. [`crate::BatchMode`] selects the
+    /// semantics: `Exact` (default) is **bit-identical** to a serial loop of
+    /// [`Self::activate`] calls; `Fused` additionally deduplicates σ
+    /// recomputation across the batch and parallelizes it. Both are
+    /// deterministic regardless of the rayon thread count.
+    pub fn activate_batch(&mut self, edges: &[EdgeId], t: Time) -> BatchStats {
+        let start = Instant::now();
+        let mut stats = BatchStats { edges_in: edges.len(), ..Default::default() };
+        if !edges.is_empty() {
+            match self.cfg.batch {
+                BatchMode::Exact => self.batch_exact(edges, t, &mut stats),
+                BatchMode::Fused => self.batch_fused(edges, t, &mut stats),
+            }
         }
+        stats.wall = start.elapsed();
+        stats
+    }
+
+    /// The `Exact` batch path: state evolves edge by edge exactly as in the
+    /// serial loop; only index repairs are deferred into the grouped replay.
+    fn batch_exact(&mut self, edges: &[EdgeId], t: Time, stats: &mut BatchStats) {
+        let mut deltas: Vec<(EdgeId, f64, f64)> = Vec::with_capacity(edges.len());
+        let mut dirty: Vec<EdgeId> = Vec::with_capacity(edges.len());
+        for &e in edges {
+            self.clock.advance_to(t);
+            self.act.activate(e, &self.clock);
+            let (u, v) = self.g.endpoints(e);
+            let boost = self.clock.boost();
+            self.node_sum[u as usize] += boost;
+            self.node_sum[v as usize] += boost;
+            self.clock.note_activation();
+            self.activations += 1;
+
+            let params = self.reinforce_params();
+            let ctx =
+                SimilarityCtx { g: &self.g, act: self.act.as_slice(), node_sum: &self.node_sum };
+            let out = apply_reinforcement(&ctx, &mut self.sim, e, &params, &mut self.scratch);
+            stats.sigma_recomputes += 2;
+            self.sim_sum += out.new_sim - out.old_sim;
+            if out.new_sim != out.old_sim {
+                let old_w = self.recip[e as usize];
+                let new_w = 1.0 / out.new_sim;
+                self.recip[e as usize] = new_w;
+                deltas.push((e, old_w, new_w));
+                dirty.push(e);
+            }
+            // The serial path checks for a due rescale after every
+            // activation's repair; pending repairs must land at the
+            // pre-rescale weights first.
+            if self.clock.needs_rescale() {
+                self.flush_repairs(&mut deltas, stats);
+                self.force_rescale();
+            }
+        }
+        self.flush_repairs(&mut deltas, stats);
+        dirty.sort_unstable();
+        dirty.dedup();
+        stats.dirty_edges = dirty.len();
+    }
+
+    /// The `Fused` batch path: simultaneous-batch semantics. All activeness
+    /// bumps land first (`node_sum` maintained incrementally, never
+    /// rescanned), then σ is computed **once per distinct trigger node** —
+    /// in parallel, with pooled per-worker scratch (σ is NeuM: it reads only
+    /// activeness, never `sim`, so the whole batch shares one σ snapshot) —
+    /// then reinforcement replays sequentially against the cache, and one
+    /// grouped repair plus at most one rescale close the batch.
+    fn batch_fused(&mut self, edges: &[EdgeId], t: Time, stats: &mut BatchStats) {
+        // Phase 1: activeness.
+        self.clock.advance_to(t);
+        for &e in edges {
+            self.act.activate(e, &self.clock);
+            let (u, v) = self.g.endpoints(e);
+            let boost = self.clock.boost();
+            self.node_sum[u as usize] += boost;
+            self.node_sum[v as usize] += boost;
+            self.clock.note_activation();
+            self.activations += 1;
+        }
+
+        // Phase 2: deduplicated trigger set, σ in parallel.
+        let mut triggers: Vec<NodeId> = Vec::with_capacity(edges.len() * 2);
+        for &e in edges {
+            let (u, v) = self.g.endpoints(e);
+            triggers.push(u);
+            triggers.push(v);
+        }
+        triggers.sort_unstable();
+        triggers.dedup();
+        stats.sigma_recomputes += triggers.len();
+
+        let workers = rayon::current_num_threads().clamp(1, triggers.len());
+        let chunk_len = triggers.len().div_ceil(workers);
+        let n_chunks = triggers.len().div_ceil(chunk_len);
+        let scratches = self.sigma_pool.take(n_chunks);
+        let (epsilon, mu) = (self.cfg.epsilon, self.cfg.mu);
+        let ctx = SimilarityCtx { g: &self.g, act: self.act.as_slice(), node_sum: &self.node_sum };
+        // One worker's output: flat σ rows, per-trigger (row length, node
+        // type), and the scratch buffer travelling back to the pool.
+        type SigmaChunk = (Vec<f64>, Vec<(u32, NodeType)>, Scratch);
+        let tasks: Vec<(&[NodeId], Scratch)> = triggers.chunks(chunk_len).zip(scratches).collect();
+        let outputs: Vec<SigmaChunk> = tasks
+            .into_par_iter()
+            .map(|(chunk, mut scratch)| {
+                let mut flat = Vec::new();
+                let mut rows = Vec::with_capacity(chunk.len());
+                for &u in chunk {
+                    ctx.sigma_all(u, &mut scratch);
+                    let ty = ctx.node_type_from_sigmas(u, epsilon, mu, &scratch.sigmas);
+                    rows.push((scratch.sigmas.len() as u32, ty));
+                    flat.extend_from_slice(&scratch.sigmas);
+                }
+                (flat, rows, scratch)
+            })
+            .collect();
+
+        // Reassemble per-trigger σ rows into one flat array; `ranges` is
+        // aligned with the sorted `triggers`, looked up by binary search.
+        let mut sigma_flat: Vec<f64> = Vec::new();
+        let mut ranges: Vec<(usize, usize, NodeType)> = Vec::with_capacity(triggers.len());
+        let mut returned: Vec<Scratch> = Vec::with_capacity(outputs.len());
+        for (flat, rows, scratch) in outputs {
+            let mut off = sigma_flat.len();
+            for (len, ty) in rows {
+                ranges.push((off, len as usize, ty));
+                off += len as usize;
+            }
+            sigma_flat.extend_from_slice(&flat);
+            returned.push(scratch);
+        }
+        self.sigma_pool.put_back(returned);
+
+        // Phase 3: sequential reinforcement replay against the σ cache.
+        let mut deltas: Vec<(EdgeId, f64, f64)> = Vec::with_capacity(edges.len());
+        let mut dirty: Vec<EdgeId> = Vec::with_capacity(edges.len());
+        for &e in edges {
+            let (u, v) = self.g.endpoints(e);
+            let iu = triggers.binary_search(&u).expect("trigger indexed");
+            let iv = triggers.binary_search(&v).expect("trigger indexed");
+            let (su, lu, tu) = ranges[iu];
+            let (sv, lv, tv) = ranges[iv];
+            let floor = self.reinforce_params().floor_anchored;
+            let ctx =
+                SimilarityCtx { g: &self.g, act: self.act.as_slice(), node_sum: &self.node_sum };
+            let out = apply_reinforcement_cached(
+                &ctx,
+                &mut self.sim,
+                e,
+                floor,
+                CachedTrigger { sigmas: &sigma_flat[su..su + lu], node_type: tu },
+                CachedTrigger { sigmas: &sigma_flat[sv..sv + lv], node_type: tv },
+                &mut self.scratch,
+            );
+            self.sim_sum += out.new_sim - out.old_sim;
+            if out.new_sim != out.old_sim {
+                let old_w = self.recip[e as usize];
+                let new_w = 1.0 / out.new_sim;
+                self.recip[e as usize] = new_w;
+                deltas.push((e, old_w, new_w));
+                dirty.push(e);
+            }
+        }
+
+        // Phase 4: one grouped repair fan-out, then at most one rescale
+        // (safe to defer: `t` is fixed within the batch, so the anchored
+        // magnitudes cannot drift past the exponent guard mid-batch).
+        self.flush_repairs(&mut deltas, stats);
+        self.maybe_rescale();
+        dirty.sort_unstable();
+        dirty.dedup();
+        stats.dirty_edges = dirty.len();
+    }
+
+    /// Feeds the accumulated weight deltas to the index as one grouped
+    /// parallel fan-out and clears the accumulator.
+    fn flush_repairs(&mut self, deltas: &mut Vec<(EdgeId, f64, f64)>, stats: &mut BatchStats) {
+        if deltas.is_empty() {
+            return;
+        }
+        let rs = self.pyramids.on_weight_change_batch(&self.g, &self.recip, deltas);
+        stats.repair_updates += rs.updates;
+        stats.repair_skips += rs.skips;
+        deltas.clear();
     }
 
     /// Batch processing with an adaptive repair strategy.
@@ -289,24 +502,24 @@ impl AncEngine {
     /// `None` uses `m / 16`, a conservative fit of the Exp 6 curves.
     ///
     /// State evolution (activeness, similarity) is identical to
-    /// [`Self::activate_batch`] — only the index-repair strategy differs,
-    /// and a rebuild reproduces the same distances the incremental repairs
-    /// would (deferring the *repairs* themselves would not be sound: a
-    /// repair for one edge may propagate distances through regions another
-    /// pending repair has yet to invalidate).
+    /// [`Self::activate_batch`] in `Exact` mode — only the index-repair
+    /// strategy differs, and a rebuild reproduces the same distances the
+    /// incremental repairs would.
     pub fn activate_batch_adaptive(
         &mut self,
         edges: &[EdgeId],
         t: Time,
         rebuild_threshold: Option<usize>,
-    ) {
+    ) -> BatchStats {
         let threshold = rebuild_threshold.unwrap_or_else(|| (self.g.m() / 16).max(64));
         if edges.len() < threshold {
-            self.activate_batch(edges, t);
-            return;
+            return self.activate_batch(edges, t);
         }
+        let start = Instant::now();
+        let mut stats = BatchStats { edges_in: edges.len(), rebuilt: true, ..Default::default() };
         // State updates without per-activation index repair…
         self.clock.advance_to(t);
+        let mut dirty: Vec<EdgeId> = Vec::with_capacity(edges.len());
         for &e in edges {
             self.act.activate(e, &self.clock);
             let (u, v) = self.g.endpoints(e);
@@ -319,14 +532,21 @@ impl AncEngine {
             let ctx =
                 SimilarityCtx { g: &self.g, act: self.act.as_slice(), node_sum: &self.node_sum };
             let out = apply_reinforcement(&ctx, &mut self.sim, e, &params, &mut self.scratch);
+            stats.sigma_recomputes += 2;
             self.sim_sum += out.new_sim - out.old_sim;
             if out.new_sim != out.old_sim {
                 self.recip[e as usize] = 1.0 / out.new_sim;
+                dirty.push(e);
             }
         }
         // …then one reconstruction over the final weights.
         self.reconstruct_index();
         self.maybe_rescale();
+        dirty.sort_unstable();
+        dirty.dedup();
+        stats.dirty_edges = dirty.len();
+        stats.wall = start.elapsed();
+        stats
     }
 
     /// ANCOR's periodic replay: applies one extra local reinforcement (and
@@ -467,6 +687,7 @@ impl AncEngine {
         snapshot.validate()?;
         let recip: Vec<f64> = snapshot.sim.iter().map(|s| 1.0 / s).collect();
         let scratch = Scratch::new(snapshot.graph.n());
+        let sigma_pool = ScratchPool::new(snapshot.graph.n());
         Ok(Self {
             g: snapshot.graph,
             cfg: snapshot.config,
@@ -478,6 +699,7 @@ impl AncEngine {
             pyramids: snapshot.pyramids,
             index_seed: snapshot.index_seed,
             scratch,
+            sigma_pool,
             sim_sum: snapshot.sim_sum,
             activations: snapshot.activations,
             rescales: snapshot.rescales,
@@ -489,8 +711,7 @@ impl AncEngine {
     pub fn memory_bytes(&self) -> usize {
         self.pyramids.memory_bytes()
             + self.act.memory_bytes()
-            + (self.node_sum.len() + self.sim.len() + self.recip.len())
-                * std::mem::size_of::<f64>()
+            + (self.node_sum.len() + self.sim.len() + self.recip.len()) * std::mem::size_of::<f64>()
     }
 
     /// Verifies every index invariant against the current weights (testing
@@ -569,9 +790,7 @@ mod tests {
             engine.activate((i * 11 + 3) % m, (i / 4) as f64);
         }
         let live_dists: Vec<Vec<f64>> = (0..engine.pyramids().k())
-            .flat_map(|p| {
-                (0..engine.num_levels()).map(move |l| (p, l))
-            })
+            .flat_map(|p| (0..engine.num_levels()).map(move |l| (p, l)))
             .map(|(p, l)| {
                 (0..engine.graph().n() as u32)
                     .map(|v| engine.pyramids().partition(p, l).dist(v))
@@ -677,7 +896,7 @@ mod tests {
         engine.check_invariants().unwrap();
     }
 
-#[test]
+    #[test]
     fn traced_activation_reports_footprint() {
         let mut engine = engine_fixture(1);
         let m = engine.graph().m() as u32;
@@ -689,11 +908,7 @@ mod tests {
             }
             any_nonempty = true;
             // One entry per partition.
-            assert_eq!(
-                trace.len(),
-                engine.pyramids().k() * engine.num_levels(),
-                "trace arity"
-            );
+            assert_eq!(trace.len(), engine.pyramids().k() * engine.num_levels(), "trace arity");
             for nodes in &trace {
                 for &x in nodes {
                     assert!((x as usize) < engine.graph().n());
@@ -725,7 +940,7 @@ mod tests {
         }
     }
 
-#[test]
+    #[test]
     fn adaptive_batch_matches_per_activation_path() {
         let lg = connected_caveman(3, 5);
         let cfg = AncConfig { rep: 1, k: 2, ..Default::default() };
@@ -735,7 +950,7 @@ mod tests {
         let batch: Vec<u32> = (0..40).map(|i| (i * 3 + 1) % m).collect();
         a.activate_batch(&batch, 2.0);
         b.activate_batch_adaptive(&batch, 2.0, Some(1)); // force rebuild path
-        // Identical state…
+                                                         // Identical state…
         for e in 0..m {
             assert_eq!(a.similarity(e), b.similarity(e));
             assert_eq!(a.activeness(e), b.activeness(e));
@@ -744,15 +959,18 @@ mod tests {
         for p in 0..a.pyramids().k() {
             for l in 0..a.num_levels() {
                 for v in 0..lg.graph.n() as u32 {
-                    let (da, db) =
-                        (a.pyramids().partition(p, l).dist(v), b.pyramids().partition(p, l).dist(v));
+                    let (da, db) = (
+                        a.pyramids().partition(p, l).dist(v),
+                        b.pyramids().partition(p, l).dist(v),
+                    );
                     assert!((da - db).abs() < 1e-9 * (1.0 + db.abs()));
                 }
             }
         }
         b.check_invariants().unwrap();
         // Below the threshold it takes the incremental path.
-        let mut c = AncEngine::new(lg.graph.clone(), AncConfig { rep: 1, k: 2, ..Default::default() }, 11);
+        let mut c =
+            AncEngine::new(lg.graph.clone(), AncConfig { rep: 1, k: 2, ..Default::default() }, 11);
         c.activate_batch_adaptive(&batch[..2], 1.0, Some(1000));
         c.check_invariants().unwrap();
     }
@@ -761,5 +979,88 @@ mod tests {
     fn memory_accounting_positive() {
         let engine = engine_fixture(0);
         assert!(engine.memory_bytes() > 0);
+    }
+
+    /// The tentpole correctness bar: the exact batch path must be
+    /// bit-identical to a serial loop of `activate` calls — including across
+    /// a mid-batch rescale — down to the serialized snapshot bytes.
+    #[test]
+    fn exact_batch_is_bitwise_identical_to_serial_loop() {
+        let lg = connected_caveman(4, 6);
+        // A tiny rescale interval forces several mid-batch rescales.
+        let rescale = anc_decay::RescaleConfig { every_activations: 7, exponent_guard: 200.0 };
+        let cfg = AncConfig { rep: 1, mu: 3, epsilon: 0.25, k: 3, rescale, ..Default::default() };
+        let mut serial = AncEngine::new(lg.graph.clone(), cfg.clone(), 42);
+        let mut batched = AncEngine::new(lg.graph, cfg, 42);
+        let m = serial.graph().m() as u32;
+        let mut stats_total = BatchStats::default();
+        for step in 0..6u32 {
+            let t = 1.0 + step as f64 * 0.5;
+            let batch: Vec<u32> = (0..25).map(|i| (i * 7 + step * 3) % m).collect();
+            for &e in &batch {
+                serial.activate(e, t);
+            }
+            let s = batched.activate_batch(&batch, t);
+            assert_eq!(s.edges_in, batch.len());
+            assert_eq!(s.sigma_recomputes, 2 * batch.len());
+            stats_total.repair_updates += s.repair_updates;
+            stats_total.repair_skips += s.repair_skips;
+        }
+        assert!(serial.rescales() >= 2, "test must cross rescales");
+        assert_eq!(serial.rescales(), batched.rescales());
+        assert!(stats_total.repair_updates > 0);
+        for e in 0..m as usize {
+            assert_eq!(serial.sim[e].to_bits(), batched.sim[e].to_bits(), "sim {e}");
+            assert_eq!(serial.recip[e].to_bits(), batched.recip[e].to_bits(), "recip {e}");
+        }
+        // The serialized snapshots (state + every partition, including
+        // internal stamps) must be byte-identical.
+        let a = serde_json::to_string(&serial.to_snapshot()).unwrap();
+        let b = serde_json::to_string(&batched.to_snapshot()).unwrap();
+        assert_eq!(a, b, "snapshots diverge");
+        batched.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fused_batch_keeps_invariants_and_dedupes_sigma() {
+        let lg = connected_caveman(4, 6);
+        let cfg = AncConfig {
+            rep: 1,
+            mu: 3,
+            epsilon: 0.25,
+            k: 3,
+            batch: crate::BatchMode::Fused,
+            ..Default::default()
+        };
+        let mut engine = AncEngine::new(lg.graph, cfg, 42);
+        let m = engine.graph().m() as u32;
+        // A batch that revisits the same few edges: the deduplicated trigger
+        // set is much smaller than 2 × batch size.
+        let batch: Vec<u32> = (0..60).map(|i| i % 5).collect();
+        let stats = engine.activate_batch(&batch, 1.5);
+        assert_eq!(stats.edges_in, 60);
+        assert!(
+            stats.sigma_recomputes < batch.len(),
+            "fused σ must dedup: {} recomputes",
+            stats.sigma_recomputes
+        );
+        assert!(stats.dirty_edges <= 5);
+        assert!(!stats.rebuilt);
+        engine.check_invariants().unwrap();
+        // A second, spread-out batch also stays consistent.
+        let batch2: Vec<u32> = (0..m).step_by(3).collect();
+        engine.activate_batch(&batch2, 2.5);
+        engine.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut engine = engine_fixture(1);
+        let before = serde_json::to_string(&engine.to_snapshot()).unwrap();
+        let stats = engine.activate_batch(&[], 5.0);
+        assert_eq!(stats.edges_in, 0);
+        assert_eq!(stats.dirty_edges, 0);
+        let after = serde_json::to_string(&engine.to_snapshot()).unwrap();
+        assert_eq!(before, after);
     }
 }

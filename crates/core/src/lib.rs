@@ -40,13 +40,13 @@ pub mod pyramid;
 pub mod query;
 pub mod reinforce;
 pub mod similarity;
-pub mod vote;
 pub mod voronoi;
+pub mod vote;
 
 pub use cluster::ClusterMode;
-pub use config::AncConfig;
-pub use engine::{AncEngine, OfflineSnapshot};
+pub use config::{AncConfig, BatchMode};
+pub use engine::{AncEngine, BatchStats, OfflineSnapshot};
 pub use persist::{EngineSnapshot, RestoreError};
-pub use pyramid::Pyramids;
-pub use similarity::NodeType;
+pub use pyramid::{Pyramids, RepairStats};
+pub use similarity::{NodeType, ScratchPool};
 pub use vote::{ClusterMonitor, VoteCache};

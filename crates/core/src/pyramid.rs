@@ -19,6 +19,24 @@ use rayon::prelude::*;
 
 use crate::voronoi::VoronoiPartition;
 
+/// Counters from one grouped batch repair
+/// ([`Pyramids::on_weight_change_batch`]), summed over all partitions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Bounded updates actually executed (Algorithms 1–3 invocations).
+    pub updates: usize,
+    /// Deltas short-circuited by the `O(1)` no-op precheck
+    /// ([`VoronoiPartition::noop_weight_change`]).
+    pub skips: usize,
+}
+
+impl std::ops::AddAssign for RepairStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.updates += rhs.updates;
+        self.skips += rhs.skips;
+    }
+}
+
 /// The full index: `k × levels` Voronoi partitions plus the voting
 /// threshold.
 ///
@@ -60,8 +78,7 @@ impl Pyramids {
         let mut seed_sets = Vec::with_capacity(k * levels);
         for p in 0..k {
             for l in 0..levels {
-                let mut rng =
-                    ChaCha8Rng::seed_from_u64(seed ^ ((p as u64) << 32) ^ (l as u64));
+                let mut rng = ChaCha8Rng::seed_from_u64(seed ^ ((p as u64) << 32) ^ (l as u64));
                 let want = (1usize << l).min(n);
                 let chosen: Vec<NodeId> =
                     sample(&mut rng, n, want).into_iter().map(|i| i as NodeId).collect();
@@ -104,9 +121,7 @@ impl Pyramids {
     /// paper's Problem 1 entry granularity with `Θ(√n)` clusters.
     pub fn default_level(&self) -> usize {
         let target = (self.n as f64).sqrt();
-        (0..self.levels)
-            .find(|&l| (1usize << l) as f64 >= target)
-            .unwrap_or(self.levels - 1)
+        (0..self.levels).find(|&l| (1usize << l) as f64 >= target).unwrap_or(self.levels - 1)
     }
 
     /// Access a partition (pyramid `p`, 0-based level `l`).
@@ -117,9 +132,7 @@ impl Pyramids {
     /// Number of pyramids whose level-`l` partition puts `u` and `v` under
     /// the same seed (the vote count behind `H_l(u, v)`).
     pub fn votes(&self, u: NodeId, v: NodeId, l: usize) -> usize {
-        (0..self.k)
-            .filter(|&p| self.partition(p, l).same_seed(u, v))
-            .count()
+        (0..self.k).filter(|&p| self.partition(p, l).same_seed(u, v)).count()
     }
 
     /// The voting function `H_l(u, v)` (Section V-B): 1 iff at least `⌈θk⌉`
@@ -152,10 +165,80 @@ impl Pyramids {
         e: EdgeId,
         old_w: f64,
     ) -> Vec<Vec<NodeId>> {
-        self.partitions
-            .par_iter_mut()
-            .map(|p| p.on_weight_change(g, weights, e, old_w))
-            .collect()
+        self.partitions.par_iter_mut().map(|p| p.on_weight_change(g, weights, e, old_w)).collect()
+    }
+
+    /// Applies a whole batch of ordered weight deltas with **one** parallel
+    /// fan-out instead of one per edge (the engine's batch-ingestion
+    /// pipeline; see DESIGN.md §7).
+    ///
+    /// `deltas` is the ordered list of `(e, old_w, new_w)` changes exactly
+    /// as they occurred; the same edge may appear several times. `weights`
+    /// must hold the *final* post-batch values (so for each edge, the last
+    /// delta's `new_w` equals `weights[e]`).
+    ///
+    /// Deferring repairs naively would be unsound — a repair for one edge
+    /// may propagate distances through regions another pending repair has
+    /// yet to invalidate — so each worker replays the delta list *in
+    /// order*, against a private weight array rewound to the pre-batch
+    /// state, calling [`VoronoiPartition::on_weight_change`] at the exact
+    /// per-step weights. Every partition therefore ends bit-identical to
+    /// the serial per-edge path; since partitions are mutually independent
+    /// (Lemma 13) and workers own disjoint partition chunks, the result is
+    /// also independent of the thread count. Deltas that provably cannot
+    /// move a partition are short-circuited by the `O(1)`
+    /// [`VoronoiPartition::noop_weight_change`] precheck.
+    pub fn on_weight_change_batch(
+        &mut self,
+        g: &Graph,
+        weights: &[f64],
+        deltas: &[(EdgeId, f64, f64)],
+    ) -> RepairStats {
+        if deltas.is_empty() {
+            return RepairStats::default();
+        }
+        debug_assert!(
+            deltas
+                .iter()
+                .rev()
+                .scan(std::collections::HashSet::new(), |seen, &(e, _, new_w)| {
+                    Some(!seen.insert(e) || new_w == weights[e as usize])
+                })
+                .all(|ok| ok),
+            "last delta per edge must match the final weights"
+        );
+        let workers = rayon::current_num_threads().clamp(1, self.partitions.len());
+        let chunk = self.partitions.len().div_ceil(workers);
+        let per_chunk: Vec<RepairStats> = self
+            .partitions
+            .par_chunks_mut(chunk)
+            .map(|parts| {
+                // One weight-array clone per worker; rewinding between
+                // partitions only touches the delta edges.
+                let mut w = weights.to_vec();
+                let mut stats = RepairStats::default();
+                for p in parts.iter_mut() {
+                    for &(e, old_w, _) in deltas.iter().rev() {
+                        w[e as usize] = old_w;
+                    }
+                    for &(e, old_w, new_w) in deltas {
+                        w[e as usize] = new_w;
+                        if p.noop_weight_change(g, &w, e, old_w) {
+                            stats.skips += 1;
+                        } else {
+                            p.on_weight_change(g, &w, e, old_w);
+                            stats.updates += 1;
+                        }
+                    }
+                }
+                stats
+            })
+            .collect();
+        let mut total = RepairStats::default();
+        for s in per_chunk {
+            total += s;
+        }
+        total
     }
 
     /// Serial variant of [`Self::on_weight_change`] (used to measure the
@@ -167,10 +250,7 @@ impl Pyramids {
         e: EdgeId,
         old_w: f64,
     ) -> Vec<Vec<NodeId>> {
-        self.partitions
-            .iter_mut()
-            .map(|p| p.on_weight_change(g, weights, e, old_w))
-            .collect()
+        self.partitions.iter_mut().map(|p| p.on_weight_change(g, weights, e, old_w)).collect()
     }
 
     /// Approximate distance query in the style of the underlying Das Sarma
@@ -267,9 +347,8 @@ mod tests {
             }
         }
         let c = Pyramids::build(&g, &w, 2, 0.7, 8);
-        let same = (0..2).all(|p| {
-            (0..4).all(|l| a.partition(p, l).seeds() == c.partition(p, l).seeds())
-        });
+        let same =
+            (0..2).all(|p| (0..4).all(|l| a.partition(p, l).seeds() == c.partition(p, l).seeds()));
         assert!(!same, "different seeds must give different samples");
     }
 
@@ -317,6 +396,61 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The grouped batch repair must reproduce the per-delta serial path
+    /// **bit for bit**, including an edge that changes twice in one batch
+    /// (intermediate weights matter) and inert deltas (counted as skips).
+    #[test]
+    fn batch_repair_matches_serial_replay_bitwise() {
+        let lg = connected_caveman(4, 5);
+        let g = &lg.graph;
+        let w0 = vec![1.0; g.m()];
+        let mut serial = Pyramids::build(g, &w0, 3, 0.7, 9);
+        let mut batched = Pyramids::build(g, &w0, 3, 0.7, 9);
+
+        // Edge 0 changes twice; edge 5 and 9 once each.
+        let steps: &[(EdgeId, f64)] = &[(0, 0.3), (5, 4.0), (0, 2.0), (9, 0.1)];
+        let mut w = w0.clone();
+        let mut deltas = Vec::new();
+        for &(e, new_w) in steps {
+            let old = w[e as usize];
+            w[e as usize] = new_w;
+            serial.on_weight_change(g, &w, e, old);
+            deltas.push((e, old, new_w));
+        }
+        let stats = batched.on_weight_change_batch(g, &w, &deltas);
+        assert_eq!(
+            stats.updates + stats.skips,
+            deltas.len() * 3 * batched.num_levels(),
+            "every delta visits every partition"
+        );
+        assert!(stats.skips > 0, "some delta × partition pairs must be inert");
+        for p in 0..3 {
+            for l in 0..serial.num_levels() {
+                for v in 0..g.n() as NodeId {
+                    assert_eq!(
+                        serial.partition(p, l).dist(v).to_bits(),
+                        batched.partition(p, l).dist(v).to_bits(),
+                        "pyramid {p} level {l} node {v}"
+                    );
+                    assert_eq!(
+                        serial.partition(p, l).seed_of(v),
+                        batched.partition(p, l).seed_of(v)
+                    );
+                }
+            }
+        }
+        batched.check_invariants(g, &w).unwrap();
+    }
+
+    #[test]
+    fn batch_repair_empty_is_noop() {
+        let (g, w) = paper_figure2();
+        let mut pyr = Pyramids::build(&g, &w, 2, 0.7, 42);
+        let stats = pyr.on_weight_change_batch(&g, &w, &[]);
+        assert_eq!(stats, RepairStats::default());
+        pyr.check_invariants(&g, &w).unwrap();
     }
 
     #[test]

@@ -127,13 +127,15 @@ mod tests {
         let w: Vec<f64> = lg
             .graph
             .iter_edges()
-            .map(|(_, u, v)| {
-                if lg.labels[u as usize] == lg.labels[v as usize] {
-                    0.2
-                } else {
-                    100.0
-                }
-            })
+            .map(
+                |(_, u, v)| {
+                    if lg.labels[u as usize] == lg.labels[v as usize] {
+                        0.2
+                    } else {
+                        100.0
+                    }
+                },
+            )
             .collect();
         (lg.graph, w, lg.labels)
     }
@@ -146,9 +148,8 @@ mod tests {
             let global = cluster_all(&g, &pyr, level, ClusterMode::Even);
             for v in [0u32, 7, 13, 20] {
                 let local = local_cluster(&g, &pyr, v, level);
-                let mut expected: Vec<u32> = (0..g.n() as u32)
-                    .filter(|&x| global.label(x) == global.label(v))
-                    .collect();
+                let mut expected: Vec<u32> =
+                    (0..g.n() as u32).filter(|&x| global.label(x) == global.label(v)).collect();
                 expected.sort_unstable();
                 assert_eq!(local, expected, "node {v} level {level}");
             }
@@ -199,7 +200,7 @@ mod tests {
         assert_eq!(s, finest);
     }
 
-#[test]
+    #[test]
     fn isolated_node_is_its_own_cluster() {
         let g = anc_graph::Graph::from_edges(4, &[(0, 1), (1, 2)]);
         let w = vec![1.0, 1.0];
@@ -218,9 +219,6 @@ mod tests {
         // a local power query from inside a clique stays inside it.
         let c = local_cluster_power(&g, &pyr, 2, pyr.default_level());
         let lab = labels[2];
-        assert!(
-            c.iter().all(|&x| labels[x as usize] == lab),
-            "leaked outside the clique: {c:?}"
-        );
+        assert!(c.iter().all(|&x| labels[x as usize] == lab), "leaked outside the clique: {c:?}");
     }
 }

@@ -121,6 +121,16 @@ pub struct ReinforceOutcome {
     pub proc_v: Processes,
 }
 
+/// Precomputed σ context for one trigger node, as produced by the engine's
+/// fused batch path (σ once per distinct trigger node, in parallel).
+#[derive(Clone, Copy, Debug)]
+pub struct CachedTrigger<'a> {
+    /// `sigma_all` output for the node, aligned with `g.edges_of(node)`.
+    pub sigmas: &'a [f64],
+    /// The node's classification under those σ values.
+    pub node_type: NodeType,
+}
+
 /// Applies one local reinforcement with trigger edge `e` to the anchored
 /// similarity array `sim`, reading activeness through `ctx`.
 ///
@@ -145,21 +155,55 @@ pub fn apply_reinforcement(
     let sigmas_v = std::mem::take(&mut scratch.sigmas);
     let type_v = ctx.node_type_from_sigmas(v, params.epsilon, params.mu, &sigmas_v);
 
-    let proc_u = processes_for(ctx, sim, e, u, v, &sigmas_u, scratch);
-    let proc_v = processes_for(ctx, sim, e, v, u, &sigmas_v, scratch);
+    let out = apply_reinforcement_cached(
+        ctx,
+        sim,
+        e,
+        params.floor_anchored,
+        CachedTrigger { sigmas: &sigmas_u, node_type: type_u },
+        CachedTrigger { sigmas: &sigmas_v, node_type: type_v },
+        scratch,
+    );
 
-    // Return the sigma buffers for reuse.
+    // Return one sigma buffer for reuse.
     scratch.sigmas = sigmas_u;
+    out
+}
+
+/// Variant of [`apply_reinforcement`] consuming σ values and node types
+/// computed elsewhere — σ is NeuM and depends only on activeness, never on
+/// `sim`, so a batch that lands all activeness bumps first can compute σ
+/// once per distinct trigger node and replay reinforcements against the
+/// cache (the engine's [`crate::config::BatchMode::Fused`] path).
+pub fn apply_reinforcement_cached(
+    ctx: &SimilarityCtx<'_>,
+    sim: &mut [f64],
+    e: EdgeId,
+    floor_anchored: f64,
+    trig_u: CachedTrigger<'_>,
+    trig_v: CachedTrigger<'_>,
+    scratch: &mut Scratch,
+) -> ReinforceOutcome {
+    let (u, v) = ctx.g.endpoints(e);
+    let proc_u = processes_for(ctx, sim, e, u, v, trig_u.sigmas, scratch);
+    let proc_v = processes_for(ctx, sim, e, v, u, trig_v.sigmas, scratch);
 
     let old_sim = sim[e as usize];
-    let delta = proc_u.delta(type_u) + proc_v.delta(type_v);
+    let delta = proc_u.delta(trig_u.node_type) + proc_v.delta(trig_v.node_type);
     let mut new_sim = old_sim + delta;
-    if !new_sim.is_finite() || new_sim < params.floor_anchored {
-        new_sim = params.floor_anchored;
+    if !new_sim.is_finite() || new_sim < floor_anchored {
+        new_sim = floor_anchored;
     }
     sim[e as usize] = new_sim;
 
-    ReinforceOutcome { old_sim, new_sim, type_u, type_v, proc_u, proc_v }
+    ReinforceOutcome {
+        old_sim,
+        new_sim,
+        type_u: trig_u.node_type,
+        type_v: trig_v.node_type,
+        proc_u,
+        proc_v,
+    }
 }
 
 /// Runs one full-graph reinforcement pass: every edge is treated as a
@@ -209,8 +253,7 @@ mod tests {
         (g, act, node_sum)
     }
 
-    const PARAMS: ReinforceParams =
-        ReinforceParams { epsilon: 0.2, mu: 2, floor_anchored: 1e-9 };
+    const PARAMS: ReinforceParams = ReinforceParams { epsilon: 0.2, mu: 2, floor_anchored: 1e-9 };
 
     #[test]
     fn hand_computed_processes() {

@@ -70,12 +70,7 @@ impl Scratch {
 
     /// Marks all neighbors of `u`, remembering `value(e)` per neighbor.
     /// Returns the stamp to test membership with [`Scratch::marked`].
-    pub fn mark_neighbors<F: Fn(EdgeId) -> f64>(
-        &mut self,
-        g: &Graph,
-        u: NodeId,
-        value: F,
-    ) -> u32 {
+    pub fn mark_neighbors<F: Fn(EdgeId) -> f64>(&mut self, g: &Graph, u: NodeId, value: F) -> u32 {
         let stamp = self.next_stamp();
         for (w, e) in g.edges_of(u) {
             self.mark[w as usize] = stamp;
@@ -94,6 +89,37 @@ impl Scratch {
     #[inline]
     pub fn value(&self, x: NodeId) -> f64 {
         self.val[x as usize]
+    }
+}
+
+/// A pool of per-worker [`Scratch`] buffers for the engine's parallel σ
+/// phase: buffers are allocated once per worker and reused across batches,
+/// keeping the parallel hot path allocation-free (the `mark`/`val` arrays
+/// are the `O(n)` part; `sigmas` grows to the max row length seen).
+#[derive(Clone, Debug, Default)]
+pub struct ScratchPool {
+    free: Vec<Scratch>,
+    n: usize,
+}
+
+impl ScratchPool {
+    /// Creates an empty pool for graphs of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self { free: Vec::new(), n }
+    }
+
+    /// Takes exactly `count` scratches out of the pool, allocating only the
+    /// ones that don't exist yet. Pair with [`ScratchPool::put_back`].
+    pub fn take(&mut self, count: usize) -> Vec<Scratch> {
+        while self.free.len() < count {
+            self.free.push(Scratch::new(self.n));
+        }
+        self.free.split_off(self.free.len() - count)
+    }
+
+    /// Returns scratches to the pool for reuse by the next batch.
+    pub fn put_back(&mut self, scratches: impl IntoIterator<Item = Scratch>) {
+        self.free.extend(scratches);
     }
 }
 
@@ -157,7 +183,13 @@ impl<'a> SimilarityCtx<'a> {
 
     /// Classification when `scratch.sigmas` already holds `sigma_all(u)`
     /// output (avoids recomputation inside local reinforcement).
-    pub fn node_type_from_sigmas(&self, u: NodeId, epsilon: f64, mu: usize, sigmas: &[f64]) -> NodeType {
+    pub fn node_type_from_sigmas(
+        &self,
+        u: NodeId,
+        epsilon: f64,
+        mu: usize,
+        sigmas: &[f64],
+    ) -> NodeType {
         if self.g.degree(u) < mu {
             return NodeType::Periphery;
         }
@@ -286,6 +318,20 @@ mod tests {
         assert_eq!(ctx.node_type(1, 0.3, 3, &mut scratch), NodeType::Core);
         // With ε = 0.5 only σ(1,2) qualifies → p-core.
         assert_eq!(ctx.node_type(1, 0.5, 3, &mut scratch), NodeType::PCore);
+    }
+
+    #[test]
+    fn scratch_pool_reuses_buffers() {
+        let mut pool = ScratchPool::new(16);
+        let taken = pool.take(3);
+        assert_eq!(taken.len(), 3);
+        pool.put_back(taken);
+        // Second take reuses the same buffers — the free list never grows
+        // past the high-water mark.
+        let again = pool.take(2);
+        assert_eq!(again.len(), 2);
+        pool.put_back(again);
+        assert_eq!(pool.take(3).len(), 3);
     }
 
     #[test]

@@ -170,6 +170,46 @@ impl VoronoiPartition {
         }
     }
 
+    /// Whether the initial [`Self::probe`] of `a` through `b` would fire —
+    /// the exact precondition, including the float-absorption guard.
+    #[inline]
+    fn probe_would_fire(&self, a: NodeId, b: NodeId, w_ab: f64) -> bool {
+        let db = self.dist[b as usize];
+        if !db.is_finite() {
+            return false;
+        }
+        db + w_ab < self.dist[a as usize]
+            || (self.parent[a as usize] == b
+                && self.seed_of[a as usize] != self.seed_of[b as usize])
+    }
+
+    /// Whether [`Self::on_weight_change`] for `e` (whose weight moved from
+    /// `old_w` to `weights[e]`) would provably leave this partition
+    /// untouched, in `O(1)`:
+    ///
+    /// * an **increase** on a non-tree edge never matters (no shortest path
+    ///   uses the edge — the [`Self::update_increase`] precondition);
+    /// * a **decrease** is inert when neither endpoint's initial probe can
+    ///   fire (Dijkstra propagation starts from those probes, so an empty
+    ///   start set means an empty affected region).
+    ///
+    /// Used by the grouped batch repair to short-circuit partitions a delta
+    /// cannot affect; a `true` here guarantees `on_weight_change` would
+    /// return an empty affected set *and* change no state, so skipping the
+    /// call preserves bit-identical replay.
+    pub fn noop_weight_change(&self, g: &Graph, weights: &[f64], e: EdgeId, old_w: f64) -> bool {
+        let new_w = weights[e as usize];
+        if new_w == old_w {
+            return true;
+        }
+        let (u, v) = g.endpoints(e);
+        if new_w > old_w {
+            self.parent[v as usize] != u && self.parent[u as usize] != v
+        } else {
+            !self.probe_would_fire(u, v, new_w) && !self.probe_would_fire(v, u, new_w)
+        }
+    }
+
     /// Algorithm 1 (**Update-Decrease**): the weight of `e` decreased.
     /// Distances can only shrink; propagate improvements outward from the
     /// endpoints in Dijkstra order. Cost `O(Σ_{x ∈ U'} deg x · log)` where
@@ -343,14 +383,11 @@ impl VoronoiPartition {
                     if p == NO_NODE {
                         return Err(format!("reachable non-seed {v} has no parent"));
                     }
-                    let e = g
-                        .edge_id(p, v)
-                        .ok_or_else(|| format!("parent edge ({p},{v}) missing"))?;
+                    let e =
+                        g.edge_id(p, v).ok_or_else(|| format!("parent edge ({p},{v}) missing"))?;
                     let expect = self.dist[p as usize] + weights[e as usize];
                     if (d - expect).abs() > tol * (1.0 + expect.abs()) {
-                        return Err(format!(
-                            "dist({v}) = {d} but parent path gives {expect}"
-                        ));
+                        return Err(format!("dist({v}) = {d} but parent path gives {expect}"));
                     }
                     if self.seed_of[v as usize] != self.seed_of[p as usize] {
                         return Err(format!("{v} does not inherit parent seed"));
@@ -422,13 +459,8 @@ mod tests {
         // (1-indexed nodes; the final delta is −7.5 rather than the figure's
         // −8 because our reconstruction of Figure 2(a)'s weights starts
         // (v7, v8) at 2, and weights must stay positive.)
-        let steps: &[(u32, u32, f64)] = &[
-            (5, 6, -1.0),
-            (1, 3, 1.0),
-            (7, 8, 1.0),
-            (7, 8, 5.0),
-            (7, 8, -7.5),
-        ];
+        let steps: &[(u32, u32, f64)] =
+            &[(5, 6, -1.0), (1, 3, 1.0), (7, 8, 1.0), (7, 8, 5.0), (7, 8, -7.5)];
         for &(a, b, delta) in steps {
             let e = g.edge_id(a - 1, b - 1).unwrap();
             let old = w[e as usize];
@@ -560,11 +592,56 @@ mod tests {
         p.on_weight_change(&g, &w, e, old2);
         p.check_invariants(&g, &w).unwrap();
         for v in 0..g.n() as NodeId {
-            assert!(
-                (p.dist(v) - snapshot[v as usize]).abs() < 1e-9,
-                "roundtrip changed dist({v})"
-            );
+            assert!((p.dist(v) - snapshot[v as usize]).abs() < 1e-9, "roundtrip changed dist({v})");
         }
+    }
+
+    /// The `O(1)` no-op precheck must never claim "no-op" for a change that
+    /// actually moves the partition (soundness); spot-check that it also
+    /// fires on the obvious inert cases (usefulness).
+    #[test]
+    fn noop_precheck_is_sound() {
+        let (g, w0, _) = figure2_partition();
+        for (e, _, _) in g.iter_edges() {
+            for factor in [0.3, 0.9, 1.1, 4.0] {
+                let (mut w, mut p) = (w0.clone(), figure2_partition().2);
+                let old = w[e as usize];
+                w[e as usize] = old * factor;
+                let claimed_noop = p.noop_weight_change(&g, &w, e, old);
+                let before: Vec<(f64, NodeId, NodeId)> =
+                    (0..g.n() as NodeId).map(|v| (p.dist(v), p.seed_of(v), p.parent(v))).collect();
+                let affected = p.on_weight_change(&g, &w, e, old);
+                let after: Vec<(f64, NodeId, NodeId)> =
+                    (0..g.n() as NodeId).map(|v| (p.dist(v), p.seed_of(v), p.parent(v))).collect();
+                if claimed_noop {
+                    assert!(
+                        affected.is_empty(),
+                        "edge {e} ×{factor}: claimed no-op but affected {affected:?}"
+                    );
+                    assert_eq!(before, after, "edge {e} ×{factor}: claimed no-op but state moved");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noop_precheck_fires_on_inert_changes() {
+        let (g, mut w, p) = figure2_partition();
+        // Increase on a non-tree edge is a no-op.
+        let (e, _, _) = g
+            .iter_edges()
+            .find(|&(_, u, v)| p.parent(u) != v && p.parent(v) != u)
+            .expect("figure graph has non-tree edges");
+        let old = w[e as usize];
+        w[e as usize] = old + 2.0;
+        assert!(p.noop_weight_change(&g, &w, e, old));
+        // A tree-edge increase is not claimed inert.
+        w[e as usize] = old;
+        let (te, _, _) =
+            g.iter_edges().find(|&(_, u, v)| p.parent(u) == v || p.parent(v) == u).unwrap();
+        let old_t = w[te as usize];
+        w[te as usize] = old_t + 2.0;
+        assert!(!p.noop_weight_change(&g, &w, te, old_t));
     }
 
     #[test]

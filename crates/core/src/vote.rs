@@ -122,9 +122,7 @@ impl VoteCache {
                 let truth = pyr.votes(u, v, l) as u16;
                 let cached = self.counts[e as usize * self.levels + l];
                 if truth != cached {
-                    return Err(format!(
-                        "edge {e} level {l}: cached {cached} vs actual {truth}"
-                    ));
+                    return Err(format!("edge {e} level {l}: cached {cached} vs actual {truth}"));
                 }
             }
         }
@@ -145,11 +143,7 @@ pub struct ClusterMonitor {
 impl ClusterMonitor {
     /// Creates a monitor over `watched` nodes at granularity `level`.
     pub fn new(g: &Graph, pyr: &Pyramids, watched: &[NodeId], level: usize) -> Self {
-        Self {
-            cache: VoteCache::build(g, pyr),
-            watched: watched.iter().copied().collect(),
-            level,
-        }
+        Self { cache: VoteCache::build(g, pyr), watched: watched.iter().copied().collect(), level }
     }
 
     /// Adds a node to the watch list.
@@ -223,13 +217,8 @@ mod tests {
     fn incremental_updates_stay_exact() {
         let (g, mut w, mut pyr) = fixture();
         let mut cache = VoteCache::build(&g, &pyr);
-        let changes: &[(u32, u32, f64)] = &[
-            (5, 6, 0.5),
-            (1, 3, 9.0),
-            (7, 8, 0.1),
-            (7, 8, 12.0),
-            (9, 10, 1.0),
-        ];
+        let changes: &[(u32, u32, f64)] =
+            &[(5, 6, 0.5), (1, 3, 9.0), (7, 8, 0.1), (7, 8, 12.0), (9, 10, 1.0)];
         for &(a, b, new_w) in changes {
             let e = g.edge_id(a - 1, b - 1).unwrap();
             let old = w[e as usize];

@@ -1,0 +1,45 @@
+//! The parallelism-never-changes-results invariant (DESIGN.md §7): the
+//! engine's state is a pure function of (graph, config, seed, stream). The
+//! rayon worker count is **not** an input — the grouped σ recomputation and
+//! index-repair fan-outs split work into contiguous, order-preserving
+//! chunks, so any thread count produces byte-identical snapshots.
+//!
+//! This file holds a single `#[test]` on purpose: it mutates the global
+//! `RAYON_NUM_THREADS` variable, which would race with sibling tests in the
+//! same binary.
+
+use anc_core::{AncConfig, AncEngine, BatchMode};
+use anc_graph::gen::connected_caveman;
+
+fn ingest_snapshot(threads: &str, batch: BatchMode) -> String {
+    std::env::set_var("RAYON_NUM_THREADS", threads);
+    let lg = connected_caveman(4, 6);
+    let cfg = AncConfig {
+        rep: 1,
+        mu: 3,
+        epsilon: 0.25,
+        k: 3,
+        parallel_updates: true,
+        batch,
+        ..Default::default()
+    };
+    let mut engine = AncEngine::new(lg.graph, cfg, 42);
+    let m = engine.graph().m() as u32;
+    for step in 0..6u32 {
+        let edges: Vec<u32> = (0..40).map(|i| (i * 7 + step * 3) % m).collect();
+        engine.activate_batch(&edges, 1.0 + step as f64 * 0.4);
+    }
+    engine.check_invariants().unwrap();
+    serde_json::to_string(&engine.to_snapshot()).unwrap()
+}
+
+#[test]
+fn thread_count_never_changes_results() {
+    for batch in [BatchMode::Exact, BatchMode::Fused] {
+        let snapshots: Vec<String> =
+            ["1", "2", "8"].iter().map(|t| ingest_snapshot(t, batch)).collect();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(snapshots[0], snapshots[1], "{batch:?}: 1 vs 2 threads diverged");
+        assert_eq!(snapshots[0], snapshots[2], "{batch:?}: 1 vs 8 threads diverged");
+    }
+}

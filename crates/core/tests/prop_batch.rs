@@ -1,0 +1,97 @@
+//! Property tests for the batch-ingestion pipeline: in the default
+//! [`BatchMode::Exact`], `activate_batch` is an exact refactoring of the
+//! serial per-activation loop — same similarities (bit for bit), same
+//! clusterings, across arbitrary streams, batch shapes and rescale timing.
+
+use anc_core::{AncConfig, AncEngine, BatchMode, ClusterMode};
+use anc_graph::gen::{connected_caveman, erdos_renyi};
+use anc_graph::Graph;
+use proptest::prelude::*;
+
+fn small_cfg() -> AncConfig {
+    AncConfig {
+        k: 2,
+        rep: 1,
+        mu: 2,
+        epsilon: 0.2,
+        // A tiny rescale interval so streams routinely cross mid-batch
+        // rescales — the trickiest point of the deferred-repair design.
+        rescale: anc_decay::RescaleConfig { every_activations: 9, exponent_guard: 200.0 },
+        ..Default::default()
+    }
+}
+
+fn graph_for(seed: u64) -> Graph {
+    if seed.is_multiple_of(2) {
+        erdos_renyi(24, 50, seed)
+    } else {
+        connected_caveman(3, 5).graph
+    }
+}
+
+/// Batches of raw edge indices with per-batch time increments.
+fn batched_stream() -> impl Strategy<Value = (u64, Vec<(Vec<usize>, f64)>)> {
+    (
+        0u64..32,
+        prop::collection::vec((prop::collection::vec(0usize..10_000, 1..14), 0.05f64..0.8), 1..8),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn exact_batch_equals_serial_activation_loop((seed, stream) in batched_stream()) {
+        let g = graph_for(seed);
+        let m = g.m();
+        let mut serial = AncEngine::new(g.clone(), small_cfg(), seed);
+        let mut batched = AncEngine::new(g, small_cfg(), seed);
+        let mut t = 0.0;
+        for (raw, dt) in stream {
+            t += dt;
+            let batch: Vec<u32> = raw.into_iter().map(|i| (i % m) as u32).collect();
+            for &e in &batch {
+                serial.activate(e, t);
+            }
+            let stats = batched.activate_batch(&batch, t);
+            prop_assert_eq!(stats.edges_in, batch.len());
+        }
+        // Identical anchored similarities, bit for bit…
+        for (e, (a, b)) in serial.sim_anchored().iter().zip(batched.sim_anchored()).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "sim of edge {} diverged", e);
+        }
+        prop_assert_eq!(serial.rescales(), batched.rescales());
+        // …and identical clusterings at every level, both semantics.
+        for level in 0..serial.num_levels() {
+            for mode in [ClusterMode::Even, ClusterMode::Power] {
+                prop_assert_eq!(
+                    serial.cluster_all(level, mode),
+                    batched.cluster_all(level, mode),
+                    "clustering diverged at level {}", level
+                );
+            }
+        }
+        batched.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fused_batch_keeps_invariants((seed, stream) in batched_stream()) {
+        let g = graph_for(seed);
+        let m = g.m();
+        let cfg = AncConfig { batch: BatchMode::Fused, ..small_cfg() };
+        let mut engine = AncEngine::new(g, cfg, seed);
+        let mut t = 0.0;
+        let mut total = 0usize;
+        for (raw, dt) in stream {
+            t += dt;
+            let batch: Vec<u32> = raw.into_iter().map(|i| (i % m) as u32).collect();
+            let stats = engine.activate_batch(&batch, t);
+            // Fused σ work is bounded by the deduplicated trigger set.
+            prop_assert!(stats.sigma_recomputes <= 2 * batch.len());
+            prop_assert!(stats.dirty_edges <= batch.len());
+            total += batch.len();
+        }
+        prop_assert_eq!(engine.activations(), total as u64);
+        engine.check_invariants().unwrap();
+    }
+}

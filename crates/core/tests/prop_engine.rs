@@ -9,10 +9,7 @@ use anc_graph::gen::{connected_caveman, erdos_renyi};
 use proptest::prelude::*;
 
 fn stream_strategy() -> impl Strategy<Value = (u64, Vec<(usize, f64)>)> {
-    (
-        0u64..32,
-        prop::collection::vec((0usize..10_000, 0.0f64..1.5), 1..40),
-    )
+    (0u64..32, prop::collection::vec((0usize..10_000, 0.0f64..1.5), 1..40))
 }
 
 fn small_cfg() -> AncConfig {

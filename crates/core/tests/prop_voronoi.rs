@@ -21,19 +21,13 @@ fn plan_strategy() -> impl Strategy<Value = UpdatePlan> {
     // exercises the float-absorption path in Probe (a parent improvement can
     // round to exactly the child's stored distance), which once produced
     // stale-seed corruption.
-    (
-        0u64..64,
-        1usize..6,
-        prop::collection::vec((0usize..10_000, -4.0f64..4.0), 1..24),
-    )
-        .prop_map(|(graph_seed, seed_count, changes)| UpdatePlan {
+    (0u64..64, 1usize..6, prop::collection::vec((0usize..10_000, -4.0f64..4.0), 1..24)).prop_map(
+        |(graph_seed, seed_count, changes)| UpdatePlan {
             graph_seed,
             seed_count,
-            changes: changes
-                .into_iter()
-                .map(|(sel, exp)| (sel, 10f64.powf(exp)))
-                .collect(),
-        })
+            changes: changes.into_iter().map(|(sel, exp)| (sel, 10f64.powf(exp))).collect(),
+        },
+    )
 }
 
 proptest! {

@@ -31,9 +31,7 @@ impl ActivationStream {
 
     /// Iterates `(time, edge)` pairs in arrival order.
     pub fn iter(&self) -> impl Iterator<Item = (f64, EdgeId)> + '_ {
-        self.batches
-            .iter()
-            .flat_map(|b| b.edges.iter().map(move |&e| (b.time, e)))
+        self.batches.iter().flat_map(|b| b.edges.iter().map(move |&e| (b.time, e)))
     }
 }
 
@@ -73,11 +71,8 @@ pub fn community_biased(
     // (rounded) times, inter edges once.
     let mut pool: Vec<EdgeId> = Vec::with_capacity(m * bias as usize);
     for (e, u, v) in g.iter_edges() {
-        let copies = if labels[u as usize] == labels[v as usize] {
-            bias.round() as usize
-        } else {
-            1
-        };
+        let copies =
+            if labels[u as usize] == labels[v as usize] { bias.round() as usize } else { 1 };
         pool.extend(std::iter::repeat_n(e, copies));
     }
     let mut batches = Vec::with_capacity(steps);
@@ -140,12 +135,7 @@ impl Workload {
     /// Builds a workload from an activation stream by replacing
     /// `query_frac` of activations with local-cluster queries on one of the
     /// replaced edge's endpoints.
-    pub fn from_stream(
-        g: &Graph,
-        stream: &ActivationStream,
-        query_frac: f64,
-        seed: u64,
-    ) -> Self {
+    pub fn from_stream(g: &Graph, stream: &ActivationStream, query_frac: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&query_frac));
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut batches = Vec::with_capacity(stream.batches.len());

@@ -503,7 +503,7 @@ mod tests {
         assert_eq!(c.count, 1, "bridged caveman must be connected");
     }
 
-#[test]
+    #[test]
     fn watts_strogatz_small_world() {
         let g = watts_strogatz(200, 3, 0.1, 4);
         // Ring lattice keeps ~n·k edges.

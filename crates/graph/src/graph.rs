@@ -76,10 +76,7 @@ impl Graph {
     /// Iterates `(neighbor, edge_id)` pairs of `v` in neighbor-sorted order.
     #[inline]
     pub fn edges_of(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
-        self.neighbors(v)
-            .iter()
-            .copied()
-            .zip(self.neighbor_edge_ids(v).iter().copied())
+        self.neighbors(v).iter().copied().zip(self.neighbor_edge_ids(v).iter().copied())
     }
 
     /// Canonical endpoints `(min, max)` of edge `e`.
@@ -96,9 +93,7 @@ impl Graph {
         // Search from the lower-degree endpoint.
         let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
         let nbrs = self.neighbors(a);
-        nbrs.binary_search(&b)
-            .ok()
-            .map(|i| self.edge_ids[self.offsets[a as usize] + i])
+        nbrs.binary_search(&b).ok().map(|i| self.edge_ids[self.offsets[a as usize] + i])
     }
 
     /// Whether edge `(u, v)` exists.
@@ -124,10 +119,7 @@ impl Graph {
 
     /// Iterates all edges as `(edge_id, u, v)` with `u < v`.
     pub fn iter_edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId)> + '_ {
-        self.endpoints
-            .iter()
-            .enumerate()
-            .map(|(e, &(u, v))| (e as EdgeId, u, v))
+        self.endpoints.iter().enumerate().map(|(e, &(u, v))| (e as EdgeId, u, v))
     }
 
     /// Maximum degree over all vertices (0 for an empty graph).
@@ -268,11 +260,8 @@ impl GraphBuilder {
         for v in 0..n {
             let (lo, hi) = (offsets[v], offsets[v + 1]);
             // Sort the slice pair (neighbors, edge_ids) by neighbor id.
-            let mut pairs: Vec<(NodeId, EdgeId)> = neighbors[lo..hi]
-                .iter()
-                .copied()
-                .zip(edge_ids[lo..hi].iter().copied())
-                .collect();
+            let mut pairs: Vec<(NodeId, EdgeId)> =
+                neighbors[lo..hi].iter().copied().zip(edge_ids[lo..hi].iter().copied()).collect();
             pairs.sort_unstable_by_key(|&(w, _)| w);
             for (i, (w, e)) in pairs.into_iter().enumerate() {
                 neighbors[lo + i] = w;

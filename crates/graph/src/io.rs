@@ -55,12 +55,13 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<(Graph, Vec<u64>), ParseE
     let mut remap = std::collections::HashMap::<u64, NodeId>::new();
     let mut original = Vec::<u64>::new();
     let mut edges = Vec::<(NodeId, NodeId)>::new();
-    let intern = |raw: u64, original: &mut Vec<u64>, remap: &mut std::collections::HashMap<u64, NodeId>| {
-        *remap.entry(raw).or_insert_with(|| {
-            original.push(raw);
-            (original.len() - 1) as NodeId
-        })
-    };
+    let intern =
+        |raw: u64, original: &mut Vec<u64>, remap: &mut std::collections::HashMap<u64, NodeId>| {
+            *remap.entry(raw).or_insert_with(|| {
+                original.push(raw);
+                (original.len() - 1) as NodeId
+            })
+        };
     for (i, line) in reader.lines().enumerate() {
         let line = line?;
         let trimmed = line.trim();
@@ -70,15 +71,11 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<(Graph, Vec<u64>), ParseE
         let mut it = trimmed.split_whitespace();
         let (a, b) = match (it.next(), it.next()) {
             (Some(a), Some(b)) => (a, b),
-            _ => {
-                return Err(ParseError::Malformed { line: i + 1, content: trimmed.to_string() })
-            }
+            _ => return Err(ParseError::Malformed { line: i + 1, content: trimmed.to_string() }),
         };
         let (pa, pb) = match (a.parse::<u64>(), b.parse::<u64>()) {
             (Ok(pa), Ok(pb)) => (pa, pb),
-            _ => {
-                return Err(ParseError::Malformed { line: i + 1, content: trimmed.to_string() })
-            }
+            _ => return Err(ParseError::Malformed { line: i + 1, content: trimmed.to_string() }),
         };
         let u = intern(pa, &mut original, &mut remap);
         let v = intern(pb, &mut original, &mut remap);

@@ -97,9 +97,7 @@ pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
 /// (use node id to break ties)").
 pub fn degree_order_desc(g: &Graph) -> Vec<NodeId> {
     let mut order: Vec<NodeId> = (0..g.n() as NodeId).collect();
-    order.sort_unstable_by(|&a, &b| {
-        g.degree(b).cmp(&g.degree(a)).then_with(|| a.cmp(&b))
-    });
+    order.sort_unstable_by(|&a, &b| g.degree(b).cmp(&g.degree(a)).then_with(|| a.cmp(&b)));
     order
 }
 

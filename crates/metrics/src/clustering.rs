@@ -33,10 +33,7 @@ impl Clustering {
         let mut assignment = vec![NOISE; n];
         for (c, group) in groups.iter().enumerate() {
             for &v in group {
-                assert!(
-                    assignment[v as usize] == NOISE,
-                    "node {v} assigned to multiple clusters"
-                );
+                assert!(assignment[v as usize] == NOISE, "node {v} assigned to multiple clusters");
                 assignment[v as usize] = c as u32;
             }
         }
@@ -77,11 +74,7 @@ impl Clustering {
 
     /// Number of clusters (excluding noise).
     pub fn num_clusters(&self) -> usize {
-        self.assignment
-            .iter()
-            .filter(|&&l| l != NOISE)
-            .max()
-            .map_or(0, |&m| m as usize + 1)
+        self.assignment.iter().filter(|&&l| l != NOISE).max().map_or(0, |&m| m as usize + 1)
     }
 
     /// Number of non-noise nodes.

@@ -104,14 +104,8 @@ pub fn avg_f1(found: &Clustering, truth: &Clustering) -> f64 {
         }
     }
     // Weight by cluster size so empty-after-filter clusters don't distort.
-    let mean_found: f64 = best_for_found
-        .iter()
-        .zip(&rows)
-        .map(|(f, r)| f * r)
-        .sum::<f64>()
-        / n;
-    let mean_truth: f64 =
-        best_for_truth.iter().zip(&cols).map(|(f, c)| f * c).sum::<f64>() / n;
+    let mean_found: f64 = best_for_found.iter().zip(&rows).map(|(f, r)| f * r).sum::<f64>() / n;
+    let mean_truth: f64 = best_for_truth.iter().zip(&cols).map(|(f, c)| f * c).sum::<f64>() / n;
     0.5 * (mean_found + mean_truth)
 }
 
@@ -233,7 +227,7 @@ mod tests {
         assert_eq!(pairwise_f1(&a, &b), 0.0);
     }
 
-#[test]
+    #[test]
     fn ari_identical_and_independent() {
         let truth = Clustering::from_labels(&[0, 0, 0, 1, 1, 1, 2, 2, 2]);
         assert!((ari(&truth, &truth) - 1.0).abs() < 1e-12);

@@ -39,9 +39,7 @@ pub fn modularity<W: Fn(EdgeId) -> f64>(g: &Graph, c: &Clustering, weight: W) ->
         return 0.0;
     }
     let two_w = 2.0 * total;
-    (0..k)
-        .map(|i| win[i] / total - (vol[i] / two_w).powi(2))
-        .sum()
+    (0..k).map(|i| win[i] / total - (vol[i] / two_w).powi(2)).sum()
 }
 
 /// Average weighted conductance over clusters:

@@ -40,7 +40,11 @@ fn main() {
         level -= 1; // zoom out
     }
     let smallest = engine.smallest_cluster(author);
-    println!("  finest level {}: closest circle of {} authors", engine.num_levels() - 1, smallest.len());
+    println!(
+        "  finest level {}: closest circle of {} authors",
+        engine.num_levels() - 1,
+        smallest.len()
+    );
 
     // Online vs offline agreement at the same instant.
     let lvl = engine.default_level();

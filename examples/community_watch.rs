@@ -51,10 +51,7 @@ fn main() {
     );
 
     // The incrementally maintained votes must equal recomputation.
-    monitor
-        .cache()
-        .check_against(&g, engine.pyramids())
-        .expect("incremental vote cache is exact");
+    monitor.cache().check_against(&g, engine.pyramids()).expect("incremental vote cache is exact");
     println!("vote cache verified exact against the index ✓");
 
     // Show one watched node's current community for color.

@@ -9,7 +9,13 @@ use anc::graph::gen::{planted_partition, PlantedConfig};
 fn main() {
     // 1. A relation network: 1000 nodes in ~60 planted communities.
     let lg = planted_partition(
-        &PlantedConfig { n: 1000, communities: 60, avg_intra_degree: 8.0, mixing: 0.15, size_exponent: 2.0 },
+        &PlantedConfig {
+            n: 1000,
+            communities: 60,
+            avg_intra_degree: 8.0,
+            mixing: 0.15,
+            size_exponent: 2.0,
+        },
         42,
     );
     let graph = lg.graph;
@@ -38,7 +44,9 @@ fn main() {
     // 4. Stream some activations: node 0's community chats all day.
     let hot_edges: Vec<u32> = graph
         .iter_edges()
-        .filter(|&(_, u, v)| lg.labels[u as usize] == lg.labels[0] && lg.labels[v as usize] == lg.labels[0])
+        .filter(|&(_, u, v)| {
+            lg.labels[u as usize] == lg.labels[0] && lg.labels[v as usize] == lg.labels[0]
+        })
         .map(|(e, _, _)| e)
         .collect();
     for t in 1..=20 {

@@ -36,26 +36,16 @@ fn every_method_recovers_planted_structure() {
     let c = louvain::cluster(&g, &w, &louvain::LouvainParams::default()).filter_small(3);
     results.push(("LOUV", nmi(&c, &truth)));
 
-    let c = spectral::cluster(
-        &g,
-        &w,
-        &spectral::SpectralParams { k: 12, ..Default::default() },
-        3,
-    )
-    .filter_small(3);
+    let c = spectral::cluster(&g, &w, &spectral::SpectralParams { k: 12, ..Default::default() }, 3)
+        .filter_small(3);
     results.push(("SPEC", nmi(&c, &truth)));
 
     let engine = AncEngine::new(g.clone(), AncConfig { rep: 3, ..Default::default() }, 5);
-    let c = engine
-        .cluster_all(engine.default_level(), ClusterMode::Power)
-        .filter_small(3);
+    let c = engine.cluster_all(engine.default_level(), ClusterMode::Power).filter_small(3);
     results.push(("ANC", nmi(&c, &truth)));
 
     for (name, score) in &results {
-        assert!(
-            *score > 0.6,
-            "{name} should recover an easy planted partition, NMI = {score:.3}"
-        );
+        assert!(*score > 0.6, "{name} should recover an easy planted partition, NMI = {score:.3}");
     }
 }
 
@@ -78,8 +68,10 @@ fn louvain_wins_modularity_anc_stays_close() {
 fn anc_best_modularity_level(engine: &AncEngine, g: &anc::graph::Graph) -> usize {
     (engine.default_level()..engine.num_levels())
         .max_by(|&a, &b| {
-            let qa = modularity(g, &engine.cluster_all(a, ClusterMode::Power).filter_small(3), |_| 1.0);
-            let qb = modularity(g, &engine.cluster_all(b, ClusterMode::Power).filter_small(3), |_| 1.0);
+            let qa =
+                modularity(g, &engine.cluster_all(a, ClusterMode::Power).filter_small(3), |_| 1.0);
+            let qb =
+                modularity(g, &engine.cluster_all(b, ClusterMode::Power).filter_small(3), |_| 1.0);
             qa.partial_cmp(&qb).unwrap()
         })
         .unwrap()
@@ -113,13 +105,7 @@ fn weighted_baselines_follow_activeness_shift() {
     let uniform = vec![1.0f64; g.m()];
     let skewed: Vec<f64> = g
         .iter_edges()
-        .map(|(_, u, v)| {
-            if labels[u as usize] < 6 && labels[v as usize] < 6 {
-                5.0
-            } else {
-                0.2
-            }
-        })
+        .map(|(_, u, v)| if labels[u as usize] < 6 && labels[v as usize] < 6 { 5.0 } else { 0.2 })
         .collect();
     let lu = louvain::cluster(&g, &uniform, &louvain::LouvainParams::default());
     let ls = louvain::cluster(&g, &skewed, &louvain::LouvainParams::default());

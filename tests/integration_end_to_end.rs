@@ -17,9 +17,7 @@ fn small_engine() -> (AncEngine, Vec<u32>) {
 fn static_clustering_beats_random_assignment() {
     let (engine, labels) = small_engine();
     let truth = Clustering::from_labels(&labels).filter_small(3);
-    let found = engine
-        .cluster_all(engine.default_level(), ClusterMode::Power)
-        .filter_small(3);
+    let found = engine.cluster_all(engine.default_level(), ClusterMode::Power).filter_small(3);
     let quality = nmi(&found, &truth);
     // A label-shuffled control.
     let shuffled: Vec<u32> = labels.iter().rev().copied().collect();
@@ -46,9 +44,7 @@ fn online_stream_preserves_all_invariants_and_matches_rebuild() {
     let levels = engine.num_levels();
     let live: Vec<f64> = (0..k)
         .flat_map(|p| (0..levels).map(move |l| (p, l)))
-        .flat_map(|(p, l)| {
-            (0..g.n() as u32).map(move |v| (p, l, v)).collect::<Vec<_>>()
-        })
+        .flat_map(|(p, l)| (0..g.n() as u32).map(move |v| (p, l, v)).collect::<Vec<_>>())
         .map(|(p, l, v)| engine.pyramids().partition(p, l).dist(v))
         .collect();
     engine.reconstruct_index();
@@ -80,9 +76,8 @@ fn local_queries_agree_with_global_clustering() {
         let global = engine.cluster_all(level, ClusterMode::Even);
         for v in (0..g.n() as u32).step_by(97) {
             let local = engine.local_cluster(v, level);
-            let mut expected: Vec<u32> = (0..g.n() as u32)
-                .filter(|&x| global.label(x) == global.label(v))
-                .collect();
+            let mut expected: Vec<u32> =
+                (0..g.n() as u32).filter(|&x| global.label(x) == global.label(v)).collect();
             expected.sort_unstable();
             assert_eq!(local, expected, "node {v} level {level}");
         }
@@ -107,10 +102,7 @@ fn zoom_out_coarsens_on_average() {
     for &v in &probes {
         let coarse = engine.local_cluster(v, 0);
         let fine = engine.local_cluster(v, finest);
-        assert!(
-            coarse.len() >= fine.len(),
-            "coarsest cluster of {v} smaller than finest"
-        );
+        assert!(coarse.len() >= fine.len(), "coarsest cluster of {v} smaller than finest");
         for (level, size) in mean_size.iter_mut().enumerate() {
             *size += engine.local_cluster(v, level).len() as f64;
         }
@@ -150,10 +142,7 @@ fn offline_snapshot_agrees_with_long_lived_online_engine() {
     let snap = engine.offline_snapshot(2);
     let offline = snap.cluster_all(&g, level, ClusterMode::Power).filter_small(3);
     let agreement = nmi(&online, &offline);
-    assert!(
-        agreement > 0.4,
-        "ANCO must track ANCF reasonably, agreement {agreement:.3}"
-    );
+    assert!(agreement > 0.4, "ANCO must track ANCF reasonably, agreement {agreement:.3}");
 }
 
 #[test]

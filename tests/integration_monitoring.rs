@@ -41,10 +41,8 @@ fn monitor_reports_are_sound() {
     let watched: Vec<u32> = (0..g.n() as u32).step_by(101).collect();
     let mut monitor = ClusterMonitor::new(&g, engine.pyramids(), &watched, level);
 
-    let mut prev: std::collections::HashMap<u32, Vec<u32>> = watched
-        .iter()
-        .map(|&v| (v, engine.local_cluster(v, level)))
-        .collect();
+    let mut prev: std::collections::HashMap<u32, Vec<u32>> =
+        watched.iter().map(|&v| (v, engine.local_cluster(v, level))).collect();
 
     let s = stream::uniform_per_step(&g, 6, 0.02, 13);
     for batch in &s.batches {

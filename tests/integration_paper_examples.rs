@@ -53,7 +53,9 @@ fn paper_example_3_pyramid_shape() {
 fn paper_example_6_update_sequence() {
     let (g, mut w) = paper_figure2();
     let mut p = VoronoiPartition::build(&g, &w, vec![3, 6]);
-    for (a, b, delta) in [(4u32, 5u32, -1.0f64), (0, 2, 1.0), (6, 7, 1.0), (6, 7, 5.0), (6, 7, -7.5)] {
+    for (a, b, delta) in
+        [(4u32, 5u32, -1.0f64), (0, 2, 1.0), (6, 7, 1.0), (6, 7, 5.0), (6, 7, -7.5)]
+    {
         let e = g.edge_id(a, b).unwrap();
         let old = w[e as usize];
         w[e as usize] += delta;
@@ -72,22 +74,15 @@ fn paper_example_6_update_sequence() {
 #[test]
 fn case_study_drift_in_miniature() {
     // Two triangles sharing hub 0: {0,1,2} and {0,3,4}.
-    let g = anc::graph::Graph::from_edges(
-        5,
-        &[(0, 1), (1, 2), (0, 2), (0, 3), (3, 4), (0, 4)],
-    );
+    let g = anc::graph::Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (0, 3), (3, 4), (0, 4)]);
     let cfg = AncConfig { lambda: 0.3, rep: 1, mu: 2, epsilon: 0.1, ..Default::default() };
     let mut engine = AncEngine::new(g.clone(), cfg, 3);
 
     // Phase 1: triangle {0,1,2} is active.
-    let left: Vec<u32> = [(0, 1), (1, 2), (0, 2)]
-        .iter()
-        .map(|&(a, b)| g.edge_id(a, b).unwrap())
-        .collect();
-    let right: Vec<u32> = [(0, 3), (3, 4), (0, 4)]
-        .iter()
-        .map(|&(a, b)| g.edge_id(a, b).unwrap())
-        .collect();
+    let left: Vec<u32> =
+        [(0, 1), (1, 2), (0, 2)].iter().map(|&(a, b)| g.edge_id(a, b).unwrap()).collect();
+    let right: Vec<u32> =
+        [(0, 3), (3, 4), (0, 4)].iter().map(|&(a, b)| g.edge_id(a, b).unwrap()).collect();
     for t in 1..=10 {
         engine.activate_batch(&left, t as f64);
     }

@@ -43,10 +43,7 @@ fn crash_recovery_via_checkpoint_and_trace_replay() {
     assert_eq!(restored.now(), reference.now());
     for e in 0..g.m() as u32 {
         let (a, b) = (restored.similarity(e), reference.similarity(e));
-        assert!(
-            (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
-            "edge {e}: restored {a} vs reference {b}"
-        );
+        assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()), "edge {e}: restored {a} vs reference {b}");
     }
     for level in [restored.default_level(), restored.num_levels() - 1] {
         assert_eq!(

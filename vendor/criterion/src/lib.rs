@@ -1,0 +1,180 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Provides `Criterion`, `benchmark_group` / `bench_function` /
+//! `bench_with_input`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a plain warmup + timed-loop mean
+//! (no outlier analysis or HTML reports); results print one line per
+//! benchmark. `sample_size` scales the measurement budget.
+//!
+//! Set `CRITERION_QUICK=1` to cap measurement at one pass per benchmark —
+//! used by CI smoke runs where wall-clock matters more than precision.
+
+use std::time::{Duration, Instant};
+
+/// Identifies a parameterized benchmark (`function/parameter`).
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function/parameter`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self { full: format!("{function}/{parameter}") }
+    }
+
+    /// An id from a bare name.
+    pub fn from_name(name: impl std::fmt::Display) -> Self {
+        Self { full: name.to_string() }
+    }
+}
+
+/// Runs timed closures for one benchmark.
+pub struct Bencher {
+    samples: usize,
+    /// Mean seconds per iteration of the last `iter` call.
+    last_mean: f64,
+}
+
+impl Bencher {
+    /// Times `f`, printing nothing; the caller reports the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1");
+        // Warmup: a few iterations or ~20ms, whichever is first.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 3 || (warm_start.elapsed() < Duration::from_millis(20) && !quick) {
+            std::hint::black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Measurement budget: ~sample_size * 2ms, at least one iteration.
+        let budget = if quick { 0.0 } else { (self.samples as f64) * 0.002 };
+        let iters = ((budget / per_iter.max(1e-9)).ceil() as u64).clamp(1, 100_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.last_mean = start.elapsed().as_secs_f64() / iters as f64;
+    }
+}
+
+fn report(group: &str, name: &str, mean_secs: f64) {
+    let (value, unit) = if mean_secs >= 1.0 {
+        (mean_secs, "s")
+    } else if mean_secs >= 1e-3 {
+        (mean_secs * 1e3, "ms")
+    } else if mean_secs >= 1e-6 {
+        (mean_secs * 1e6, "µs")
+    } else {
+        (mean_secs * 1e9, "ns")
+    };
+    if group.is_empty() {
+        println!("{name:<50} time: {value:>10.3} {unit}");
+    } else {
+        println!("{group}/{name:<40} time: {value:>10.3} {unit}");
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measurement budget multiplier.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { samples: self.samples, last_mean: 0.0 };
+        f(&mut b);
+        report(&self.name, &name.to_string(), b.last_mean);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { samples: self.samples, last_mean: 0.0 };
+        f(&mut b, input);
+        report(&self.name, &id.full, b.last_mean);
+        self
+    }
+
+    /// Ends the group (kept for API parity; prints nothing).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), samples: 100, _criterion: self }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { samples: 100, last_mean: 0.0 };
+        f(&mut b);
+        report("", name, b.last_mean);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut runs = 0u32;
+        group.bench_function("noop", |b| b.iter(|| runs = runs.wrapping_add(1)));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u32, |b, &x| b.iter(|| x * 2));
+        group.finish();
+        assert!(runs >= 3);
+    }
+}

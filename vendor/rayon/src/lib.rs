@@ -1,0 +1,335 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! Backed by `std::thread::scope` rather than a persistent work-stealing
+//! pool: each parallel call splits its input into one contiguous chunk per
+//! worker and joins the results **in input order**, so every combinator here
+//! is deterministic regardless of thread count — the property the engine's
+//! batch pipeline documents and tests.
+//!
+//! The worker count is `RAYON_NUM_THREADS` (re-read on every call, so tests
+//! and benches can vary it at runtime) falling back to
+//! `std::thread::available_parallelism`.
+
+/// The number of worker threads parallel calls will use.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon-stub: joined closure panicked"))
+    })
+}
+
+fn chunk_len(total: usize) -> usize {
+    let workers = current_num_threads().min(total).max(1);
+    total.div_ceil(workers)
+}
+
+/// Order-preserving parallel map over owned items.
+fn map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if current_num_threads() <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = chunk_len(items.len());
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let nested: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rayon-stub: worker panicked")).collect()
+    });
+    nested.into_iter().flatten().collect()
+}
+
+/// Order-preserving parallel map over mutable sub-slices of length 1.
+fn map_slice_mut<'a, T, R, F>(slice: &'a mut [T], f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&'a mut T) -> R + Sync,
+{
+    if current_num_threads() <= 1 || slice.len() <= 1 {
+        return slice.iter_mut().map(f).collect();
+    }
+    let chunk = chunk_len(slice.len());
+    let mut rest = slice;
+    let mut chunks: Vec<&'a mut [T]> = Vec::new();
+    while !rest.is_empty() {
+        let take = chunk.min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        chunks.push(head);
+        rest = tail;
+    }
+    let nested: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.iter_mut().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rayon-stub: worker panicked")).collect()
+    });
+    nested.into_iter().flatten().collect()
+}
+
+/// Parallel iterator over owned items (`Vec::into_par_iter`).
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParIter<T> {
+    /// Maps each item through `f`.
+    pub fn map<R, F>(self, f: F) -> MapOwned<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        MapOwned { items: self.items, f }
+    }
+
+    /// Runs `f` on every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        map_vec(self.items, &|t| f(t));
+    }
+}
+
+/// Lazily mapped owned parallel iterator.
+pub struct MapOwned<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F> MapOwned<T, F> {
+    /// Executes the map in parallel and collects in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: From<Vec<R>>,
+    {
+        C::from(map_vec(self.items, &self.f))
+    }
+}
+
+/// Parallel iterator over `&mut` items (`slice.par_iter_mut()`).
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Maps each `&mut` item through `f`.
+    pub fn map<R, F>(self, f: F) -> MapMut<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a mut T) -> R + Sync,
+    {
+        MapMut { slice: self.slice, f }
+    }
+
+    /// Runs `f` on every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut T) + Sync,
+    {
+        map_slice_mut(self.slice, &|t| f(t));
+    }
+}
+
+/// Lazily mapped mutable parallel iterator.
+pub struct MapMut<'a, T, F> {
+    slice: &'a mut [T],
+    f: F,
+}
+
+impl<'a, T, F> MapMut<'a, T, F> {
+    /// Executes the map in parallel and collects in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&'a mut T) -> R + Sync,
+        C: From<Vec<R>>,
+    {
+        C::from(map_slice_mut(self.slice, &self.f))
+    }
+}
+
+/// Parallel iterator over `&` items (`slice.par_iter()`).
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each `&` item through `f`.
+    pub fn map<R, F>(self, f: F) -> MapRef<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        MapRef { slice: self.slice, f }
+    }
+}
+
+/// Lazily mapped shared-reference parallel iterator.
+pub struct MapRef<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F> MapRef<'a, T, F> {
+    /// Executes the map in parallel and collects in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: From<Vec<R>>,
+    {
+        let refs: Vec<&'a T> = self.slice.iter().collect();
+        let f = &self.f;
+        C::from(map_vec(refs, &|t| f(t)))
+    }
+}
+
+/// Conversion into an owned parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+
+    /// Consumes `self` into a parallel iterator.
+    fn into_par_iter(self) -> IntoParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+/// `par_iter` / `par_iter_mut` / `par_chunks_mut` on slices (and anything
+/// derefing to them).
+pub trait ParallelSlice<T> {
+    /// Parallel iterator over shared references.
+    fn par_iter(&self) -> ParIter<'_, T>;
+
+    /// Parallel iterator over mutable references.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+
+    /// Parallel iterator over non-overlapping mutable chunks of at most
+    /// `chunk_size` items (the last chunk may be shorter). Like every
+    /// combinator here, results collect in input order.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> IntoParIter<&mut [T]>
+    where
+        T: Send;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self }
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> IntoParIter<&mut [T]>
+    where
+        T: Send,
+    {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        IntoParIter { items: self.chunks_mut(chunk_size).collect() }
+    }
+}
+
+/// The customary glob-import module.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn owned_map_preserves_order() {
+        let v: Vec<u32> = (0..1000).collect();
+        let doubled: Vec<u32> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mut_map_sees_every_item_in_order() {
+        let mut v: Vec<u32> = vec![1; 100];
+        let sums: Vec<u32> = v
+            .par_iter_mut()
+            .map(|x| {
+                *x += 1;
+                *x
+            })
+            .collect();
+        assert_eq!(sums, vec![2; 100]);
+        assert_eq!(v, vec![2; 100]);
+    }
+
+    #[test]
+    fn chunks_mut_cover_slice_in_order() {
+        let mut v: Vec<u32> = (0..103).collect();
+        let sums: Vec<u32> = v
+            .par_chunks_mut(10)
+            .map(|chunk| {
+                for x in chunk.iter_mut() {
+                    *x += 1;
+                }
+                chunk.iter().sum()
+            })
+            .collect();
+        assert_eq!(sums.len(), 11);
+        assert_eq!(sums.iter().sum::<u32>(), (1..=103).sum::<u32>());
+        assert_eq!(v[0], 1);
+        assert_eq!(v[102], 103);
+        // Order preserved: first chunk sums 1..=10.
+        assert_eq!(sums[0], (1..=10).sum::<u32>());
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+}

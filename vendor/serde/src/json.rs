@@ -1,0 +1,825 @@
+//! A small JSON document model with a lossless number representation.
+//!
+//! [`Value::Number`] keeps the raw literal text instead of normalizing to
+//! `f64`, so 64-bit integers and float literals survive a parse/print
+//! round-trip byte-for-byte — the engine's snapshot tests require exact
+//! equality after restore.
+
+use std::fmt;
+
+/// A decoding error (shape mismatch or malformed input).
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Builds an error from any message.
+    pub fn msg(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number, kept as its raw literal text.
+    Number(String),
+    /// A string (already unescaped).
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// A short name for the variant, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Member lookup for objects; `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object members, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (numbers only).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` (integral numbers only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` (integral numbers only).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a borrowed string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Appends the compact JSON text of this value.
+    pub fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(raw) => out.push_str(raw),
+            Value::String(s) => write_escaped(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Object(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Appends an indented rendering (2-space indent, serde_json style).
+    pub fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                push_indent(out, depth);
+                out.push(']');
+            }
+            Value::Object(members) if !members.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, depth + 1);
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                push_indent(out, depth);
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+fn push_indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Appends `s` as a quoted, escaped JSON string.
+pub fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Finds and decodes an object member; used by derived `Deserialize` impls.
+pub fn field<T: crate::Deserialize>(members: &[(String, Value)], key: &str) -> Result<T, Error> {
+    let v = members
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::msg(format!("missing field {key:?}")))?;
+    T::from_json(v).map_err(|e| Error::msg(format!("field {key:?}: {e}")))
+}
+
+/// Parses a complete JSON document.
+pub fn parse(input: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!("trailing characters at offset {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!("expected {:?} at offset {}", b as char, self.pos)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => {
+                if self.eat_literal("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(Error::msg(format!("bad literal at offset {}", self.pos)))
+                }
+            }
+            Some(b't') => {
+                if self.eat_literal("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(Error::msg(format!("bad literal at offset {}", self.pos)))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_literal("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(Error::msg(format!("bad literal at offset {}", self.pos)))
+                }
+            }
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => {
+                Err(Error::msg(format!("unexpected {:?} at offset {}", b as char, self.pos)))
+            }
+            None => Err(Error::msg("unexpected end of input")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("non-utf8 number"))?;
+        if raw.parse::<f64>().is_err() {
+            return Err(Error::msg(format!("bad number literal {raw:?}")));
+        }
+        Ok(Value::Number(raw.to_string()))
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::msg("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| Error::msg("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if !self.eat_literal("\\u") {
+                                    return Err(Error::msg("lone high surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::msg("bad low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::msg("bad surrogate pair"))?
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| Error::msg("bad \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        other => return Err(Error::msg(format!("bad escape \\{}", other as char))),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::msg("non-utf8 string"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error::msg("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error::msg("bad \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| Error::msg("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::msg(format!("expected ',' or ']' at offset {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            members.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => {
+                    return Err(Error::msg(format!("expected ',' or '}}' at offset {}", self.pos)))
+                }
+            }
+        }
+    }
+}
+
+fn index_str<'v>(v: &'v Value, key: &str) -> &'v Value {
+    v.get(key).unwrap_or(&NULL)
+}
+
+fn index_str_mut<'v>(v: &'v mut Value, key: &str) -> &'v mut Value {
+    // serde_json semantics: indexing null with a string key turns it into
+    // an object; inserting a missing key yields null.
+    if v.is_null() {
+        *v = Value::Object(Vec::new());
+    }
+    let Value::Object(members) = v else {
+        panic!("cannot index {} with a string key", v.kind());
+    };
+    if let Some(i) = members.iter().position(|(k, _)| k == key) {
+        return &mut members[i].1;
+    }
+    members.push((key.to_string(), Value::Null));
+    &mut members.last_mut().unwrap().1
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        index_str(self, key)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        index_str_mut(self, key)
+    }
+}
+
+impl std::ops::Index<String> for Value {
+    type Output = Value;
+
+    fn index(&self, key: String) -> &Value {
+        index_str(self, &key)
+    }
+}
+
+impl std::ops::IndexMut<String> for Value {
+    fn index_mut(&mut self, key: String) -> &mut Value {
+        index_str_mut(self, &key)
+    }
+}
+
+/// Conversion used by the `json!` macro; the blanket impl over references
+/// makes it insensitive to autoref depth (`&&str`, `&&&str`, ...).
+pub trait ToValue {
+    /// Builds the [`Value`] encoding of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Entry point for the `json!` macro.
+pub fn to_value<T: ToValue + ?Sized>(v: &T) -> Value {
+    v.to_value()
+}
+
+impl<T: ToValue + ?Sized> ToValue for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl ToValue for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToValue for f64 {
+    fn to_value(&self) -> Value {
+        Value::from(*self)
+    }
+}
+
+impl ToValue for f32 {
+    fn to_value(&self) -> Value {
+        Value::from(*self)
+    }
+}
+
+macro_rules! impl_to_value_int {
+    ($($t:ty),*) => {$(
+        impl ToValue for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(self.to_string())
+            }
+        }
+    )*};
+}
+
+impl_to_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ToValue for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToValue for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToValue for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: ToValue> ToValue for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(|x| x.to_value()).collect())
+    }
+}
+
+impl<T: ToValue, const N: usize> ToValue for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(|x| x.to_value()).collect())
+    }
+}
+
+impl<T: ToValue> ToValue for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(|x| x.to_value()).collect())
+    }
+}
+
+impl<T: ToValue> ToValue for std::collections::HashMap<String, T> {
+    fn to_value(&self) -> Value {
+        // Sort keys so hash iteration order never leaks into output.
+        let mut members: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        members.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(members)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        let mut raw = String::new();
+        crate::write_f64(x, &mut raw);
+        if raw.starts_with('"') {
+            // Non-finite floats become their string encodings.
+            Value::String(raw.trim_matches('"').to_string())
+        } else {
+            Value::Number(raw)
+        }
+    }
+}
+
+impl From<f32> for Value {
+    fn from(x: f32) -> Self {
+        if x.is_finite() {
+            Value::Number(format!("{x:?}"))
+        } else {
+            Value::from(x as f64)
+        }
+    }
+}
+
+macro_rules! impl_value_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Number(v.to_string())
+            }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Self {
+                Value::from(*v)
+            }
+        }
+    )*};
+}
+
+impl_value_from_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<&&str> for Value {
+    fn from(s: &&str) -> Self {
+        Value::String((*s).to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(s: &String) -> Self {
+        Value::String(s.clone())
+    }
+}
+
+impl<T> From<Vec<T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(items: Vec<T>) -> Self {
+        Value::Array(items.into_iter().map(Value::from).collect())
+    }
+}
+
+impl<T> From<&[T]> for Value
+where
+    T: Clone,
+    Value: From<T>,
+{
+    fn from(items: &[T]) -> Self {
+        Value::Array(items.iter().cloned().map(Value::from).collect())
+    }
+}
+
+impl From<&bool> for Value {
+    fn from(b: &bool) -> Self {
+        Value::Bool(*b)
+    }
+}
+
+impl From<&f64> for Value {
+    fn from(x: &f64) -> Self {
+        Value::from(*x)
+    }
+}
+
+impl From<&f32> for Value {
+    fn from(x: &f32) -> Self {
+        Value::from(*x)
+    }
+}
+
+impl From<&Value> for Value {
+    fn from(v: &Value) -> Self {
+        v.clone()
+    }
+}
+
+impl<T> From<&Vec<T>> for Value
+where
+    T: Clone,
+    Value: From<T>,
+{
+    fn from(items: &Vec<T>) -> Self {
+        Value::Array(items.iter().cloned().map(Value::from).collect())
+    }
+}
+
+impl<T> From<&std::collections::HashMap<String, T>> for Value
+where
+    T: Clone,
+    Value: From<T>,
+{
+    fn from(map: &std::collections::HashMap<String, T>) -> Self {
+        let mut members: Vec<(String, Value)> =
+            map.iter().map(|(k, v)| (k.clone(), Value::from(v.clone()))).collect();
+        members.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(members)
+    }
+}
+
+impl<T> From<std::collections::HashMap<String, T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(map: std::collections::HashMap<String, T>) -> Self {
+        // Sort keys so hash iteration order never leaks into output.
+        let mut members: Vec<(String, Value)> =
+            map.into_iter().map(|(k, v)| (k, Value::from(v))).collect();
+        members.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(members)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(text: &str) -> String {
+        let mut out = String::new();
+        parse(text).unwrap().write_compact(&mut out);
+        out
+    }
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(roundtrip("null"), "null");
+        assert_eq!(roundtrip("[1,2.5,-3e2]"), "[1,2.5,-3e2]");
+        assert_eq!(roundtrip(r#"{"a":true,"b":[false,null]}"#), r#"{"a":true,"b":[false,null]}"#);
+    }
+
+    #[test]
+    fn number_text_is_preserved() {
+        // u64 beyond f64's 53-bit mantissa survives untouched.
+        assert_eq!(roundtrip("18446744073709551615"), "18446744073709551615");
+        assert_eq!(roundtrip("0.1"), "0.1");
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = Value::String("a\"b\\c\nd\u{1}é😀".to_string());
+        let mut text = String::new();
+        v.write_compact(&mut text);
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn surrogate_pair_escape() {
+        assert_eq!(parse(r#""😀""#).unwrap(), Value::String("😀".to_string()));
+    }
+
+    #[test]
+    fn garbage_is_an_error() {
+        assert!(parse("not json").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("1 2").is_err());
+    }
+
+    #[test]
+    fn index_and_index_mut() {
+        let mut v = parse(r#"{"a":1}"#).unwrap();
+        assert_eq!(v["a"].as_f64(), Some(1.0));
+        assert!(v["missing"].is_null());
+        v["b".to_string()] = Value::from(2u32);
+        assert_eq!(v["b"].as_u64(), Some(2));
+    }
+}

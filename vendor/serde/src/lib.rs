@@ -1,0 +1,244 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The real serde models format-agnostic serialization; this workspace only
+//! ever serializes to JSON, so the facade collapses the data-model layer:
+//! [`Serialize`] writes JSON text directly and [`Deserialize`] reads from a
+//! parsed [`json::Value`]. The derive macros (re-exported from the vendored
+//! `serde_derive`) cover exactly the shapes present in this codebase:
+//! named-field structs and unit-variant enums, no `#[serde(...)]` attributes.
+//!
+//! Floats round-trip losslessly: finite values are printed with Rust's
+//! shortest-roundtrip formatter and parsed back with `str::parse::<f64>`;
+//! non-finite values are encoded as the strings `"inf"` / `"-inf"` /
+//! `"nan"` (plain JSON has no representation for them, and Voronoi
+//! distance arrays legitimately contain `+inf`).
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Writes `self` as compact JSON onto `out`.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self`.
+    fn write_json(&self, out: &mut String);
+}
+
+/// Reconstructs `Self` from a parsed JSON value.
+pub trait Deserialize: Sized {
+    /// Decodes from `v`, reporting a message on shape mismatch.
+    fn from_json(v: &json::Value) -> Result<Self, json::Error>;
+}
+
+impl Serialize for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Bool(b) => Ok(*b),
+            other => Err(json::Error::msg(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(itoa_buf(*self as i128).as_str());
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &json::Value) -> Result<Self, json::Error> {
+                let raw = match v {
+                    json::Value::Number(raw) => raw,
+                    other => {
+                        return Err(json::Error::msg(format!(
+                            "expected integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                if let Ok(x) = raw.parse::<$t>() {
+                    return Ok(x);
+                }
+                // Tolerate float-shaped text carrying an integral value.
+                let f = raw
+                    .parse::<f64>()
+                    .map_err(|_| json::Error::msg(format!("bad number literal {raw:?}")))?;
+                if f.fract() == 0.0 && f >= <$t>::MIN as f64 && f <= <$t>::MAX as f64 {
+                    Ok(f as $t)
+                } else {
+                    Err(json::Error::msg(format!(
+                        "number {raw:?} out of range for {}",
+                        stringify!($t)
+                    )))
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn itoa_buf(v: i128) -> String {
+    v.to_string()
+}
+
+/// Appends the lossless JSON encoding of an `f64`.
+pub fn write_f64(x: f64, out: &mut String) {
+    if x.is_finite() {
+        // `{:?}` is Rust's shortest round-trip float formatting; it may emit
+        // exponent notation, which is valid JSON.
+        out.push_str(&format!("{x:?}"));
+    } else if x.is_nan() {
+        out.push_str("\"nan\"");
+    } else if x > 0.0 {
+        out.push_str("\"inf\"");
+    } else {
+        out.push_str("\"-inf\"");
+    }
+}
+
+/// Parses an `f64` previously written by [`write_f64`].
+pub fn read_f64(v: &json::Value) -> Result<f64, json::Error> {
+    match v {
+        json::Value::Number(raw) => {
+            raw.parse::<f64>().map_err(|_| json::Error::msg(format!("bad float literal {raw:?}")))
+        }
+        json::Value::String(s) => match s.as_str() {
+            "inf" => Ok(f64::INFINITY),
+            "-inf" => Ok(f64::NEG_INFINITY),
+            "nan" => Ok(f64::NAN),
+            other => Err(json::Error::msg(format!("expected float, got string {other:?}"))),
+        },
+        other => Err(json::Error::msg(format!("expected float, got {}", other.kind()))),
+    }
+}
+
+impl Serialize for f64 {
+    fn write_json(&self, out: &mut String) {
+        write_f64(*self, out);
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json(v: &json::Value) -> Result<Self, json::Error> {
+        read_f64(v)
+    }
+}
+
+impl Serialize for f32 {
+    fn write_json(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&format!("{self:?}"));
+        } else {
+            write_f64(*self as f64, out);
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json(v: &json::Value) -> Result<Self, json::Error> {
+        read_f64(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String) {
+        json::write_escaped(self, out);
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::String(s) => Ok(s.clone()),
+            other => Err(json::Error::msg(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String) {
+        json::write_escaped(self, out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Array(items) => items.iter().map(T::from_json).collect(),
+            other => Err(json::Error::msg(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(x) => x.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.write_json(out);
+        out.push(',');
+        self.1.write_json(out);
+        out.push(']');
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_json(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_json(&items[0])?, B::from_json(&items[1])?))
+            }
+            other => {
+                Err(json::Error::msg(format!("expected 2-element array, got {}", other.kind())))
+            }
+        }
+    }
+}
+
+impl Serialize for json::Value {
+    fn write_json(&self, out: &mut String) {
+        self.write_compact(out);
+    }
+}
+
+impl Deserialize for json::Value {
+    fn from_json(v: &json::Value) -> Result<Self, json::Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,209 @@
+//! Derive macros for the vendored `serde` facade.
+//!
+//! Supports exactly the item shapes used in this workspace: non-generic
+//! named-field structs and non-generic enums with unit variants, with no
+//! `#[serde(...)]` attributes. The implementation walks the raw
+//! `TokenStream` (no `syn`/`quote` — the build environment has no access to
+//! crates.io) and emits the impl as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    /// Struct name and field names, in declaration order.
+    Struct(String, Vec<String>),
+    /// Enum name and unit-variant names.
+    Enum(String, Vec<String>),
+}
+
+/// Parses the item header and body out of the derive input.
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                // `pub(crate)` & friends carry a parenthesized group.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported (on `{name}`)");
+        }
+    }
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde_derive: only brace-bodied items are supported (on `{name}`), got {other:?}"
+        ),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct(name, parse_named_fields(body)),
+        "enum" => Item::Enum(name, parse_unit_variants(body)),
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+/// Extracts field names from a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes (doc comments arrive as `#[doc = ...]`).
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        // Skip visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.peek() {
+            if id.to_string() == "pub" {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+        }
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(field) = tt else {
+            panic!("serde_derive: expected field name, got {tt:?}");
+        };
+        fields.push(field.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field, got {other:?}"),
+        }
+        // Consume the type, tracking `<...>` depth so commas inside generic
+        // arguments don't end the field.
+        let mut angle_depth = 0i32;
+        for tt in tokens.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Extracts variant names from a unit-variant enum body.
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(variant) = tt else {
+            panic!("serde_derive: expected variant name, got {tt:?}");
+        };
+        variants.push(variant.to_string());
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Group(_)) => {
+                panic!("serde_derive: only unit variants are supported (variant `{variant}`)")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => panic!(
+                "serde_derive: explicit discriminants are not supported (variant `{variant}`)"
+            ),
+            other => panic!("serde_derive: unexpected token after variant: {other:?}"),
+        }
+    }
+    variants
+}
+
+/// Derives the facade's `Serialize` (JSON writer).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut code = String::new();
+    match parse_item(input) {
+        Item::Struct(name, fields) => {
+            code.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn write_json(&self, out: &mut String) {{\n        out.push('{{');\n"
+            ));
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    code.push_str("        out.push(',');\n");
+                }
+                code.push_str(&format!(
+                    "        out.push_str(\"\\\"{f}\\\":\");\n        ::serde::Serialize::write_json(&self.{f}, out);\n"
+                ));
+            }
+            code.push_str("        out.push('}');\n    }\n}\n");
+        }
+        Item::Enum(name, variants) => {
+            code.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn write_json(&self, out: &mut String) {{\n        match self {{\n"
+            ));
+            for v in &variants {
+                code.push_str(&format!(
+                    "            {name}::{v} => out.push_str(\"\\\"{v}\\\"\"),\n"
+                ));
+            }
+            code.push_str("        }\n    }\n}\n");
+        }
+    }
+    code.parse().expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derives the facade's `Deserialize` (from a parsed JSON value).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let mut code = String::new();
+    match parse_item(input) {
+        Item::Struct(name, fields) => {
+            code.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_json(v: &::serde::json::Value) -> Result<Self, ::serde::json::Error> {{\n        let obj = v.as_object().ok_or_else(|| ::serde::json::Error::msg(\"expected object for {name}\"))?;\n        Ok({name} {{\n"
+            ));
+            for f in &fields {
+                code.push_str(&format!("            {f}: ::serde::json::field(obj, \"{f}\")?,\n"));
+            }
+            code.push_str("        })\n    }\n}\n");
+        }
+        Item::Enum(name, variants) => {
+            code.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_json(v: &::serde::json::Value) -> Result<Self, ::serde::json::Error> {{\n        match v.as_str() {{\n"
+            ));
+            for v in &variants {
+                code.push_str(&format!("            Some(\"{v}\") => Ok({name}::{v}),\n"));
+            }
+            code.push_str(&format!(
+                "            other => Err(::serde::json::Error::msg(format!(\"bad variant for {name}: {{other:?}}\"))),\n        }}\n    }}\n}}\n"
+            ));
+        }
+    }
+    code.parse().expect("serde_derive: generated Deserialize impl failed to parse")
+}

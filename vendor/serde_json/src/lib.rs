@@ -1,0 +1,104 @@
+//! Offline stand-in for the subset of `serde_json` this workspace uses:
+//! [`Value`], [`to_writer`] / [`from_reader`], [`to_string`] /
+//! [`to_string_pretty`] / [`from_str`], and the [`json!`] macro.
+//!
+//! Numbers round-trip losslessly (raw literal text is preserved — see the
+//! `float_roundtrip` feature of the real crate, which this behavior
+//! subsumes), and non-finite floats are encoded as the strings `"inf"` /
+//! `"-inf"` / `"nan"`.
+
+pub use serde::json::{to_value, Error, ToValue, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Serializes `value` as compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as human-readable JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    // Round-trip through the document model; number literals are preserved
+    // verbatim, so this does not perturb values.
+    let compact = to_string(value)?;
+    let doc = serde::json::parse(&compact)?;
+    let mut out = String::new();
+    doc.write_pretty(&mut out, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as compact JSON onto `writer`.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let text = to_string(value)?;
+    writer.write_all(text.as_bytes()).map_err(|e| Error::msg(format!("io error: {e}")))
+}
+
+/// Deserializes a `T` from JSON text.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let doc = serde::json::parse(text)?;
+    T::from_json(&doc)
+}
+
+/// Deserializes a `T` from a reader producing JSON text.
+pub fn from_reader<R: std::io::Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut text = String::new();
+    reader.read_to_string(&mut text).map_err(|e| Error::msg(format!("io error: {e}")))?;
+    from_str(&text)
+}
+
+/// Builds a [`Value`] from a JSON-like literal.
+///
+/// Object values and array elements are ordinary expressions (which covers
+/// every call site in this workspace); nest further `json!` calls for inline
+/// object literals.
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (($key).to_string(), $crate::to_value(&$val)) ),*
+        ])
+    };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$elem) ),* ])
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({ "a": 1u32, "b": [1.5f64, 2.5f64], "c": "x", "d": json!([]) });
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":[1.5,2.5],"c":"x","d":[]}"#);
+        assert!(json!(null).is_null());
+        let arr = json!(vec![1u32, 2, 3]);
+        assert_eq!(to_string(&arr).unwrap(), "[1,2,3]");
+    }
+
+    #[test]
+    fn pretty_preserves_numbers() {
+        let v = json!({ "big": 18446744073709551615u64, "f": 0.1f64 });
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("18446744073709551615"));
+        assert!(pretty.contains("0.1"));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back["big"].as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn bad_input_errors() {
+        assert!(from_str::<Value>("not json").is_err());
+    }
+}
