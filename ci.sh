@@ -13,7 +13,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo run -p anc-audit --release (determinism lint pass)"
+cargo run -p anc-audit --release
+
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
+
+echo "==> cargo test -p anc-core --features debug-invariants -q"
+cargo test -p anc-core --features debug-invariants -q
 
 echo "CI OK"

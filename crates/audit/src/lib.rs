@@ -1,0 +1,634 @@
+//! # anc-audit
+//!
+//! Repo-specific determinism lint pass (see DESIGN.md §8).
+//!
+//! The engine's central guarantee — snapshots byte-identical across thread
+//! counts and replay schedules — rests on properties the compiler cannot
+//! check: no iteration over randomly-seeded hash collections in
+//! state-mutating code, total float orderings, no wall-clock or OS-RNG
+//! inputs, no `unsafe`. This crate enforces them with a hand-rolled
+//! line/token scanner (the workspace is offline; no external parser crates).
+//!
+//! Rules:
+//!
+//! * `hash-iter` (A1) — no `HashMap`/`HashSet` iteration (`for`/`.iter()`/
+//!   `.keys()`/`.values()`/`.drain()`) in the determinism-sensitive crates
+//!   `core`, `decay`, `graph`; use `BTreeMap`/`BTreeSet` or an explicit sort.
+//! * `float-cmp` (A2) — no `.partial_cmp(..)` call sites anywhere; float
+//!   orderings must use `total_cmp`.
+//! * `wall-clock` (A3) — no `thread_rng`/`SystemTime::now`/`Instant::now`
+//!   outside the `bench` and `cli` crates (seeded `ChaCha` + the logical
+//!   decay clock only).
+//! * `forbid-unsafe` (A4) — every crate root (`src/lib.rs`, `src/main.rs`)
+//!   carries `#![forbid(unsafe_code)]`.
+//! * `unwrap-budget` (A5) — `.unwrap()`/`.expect(` in non-test `core` code
+//!   is a warn-tier budget ratcheted against a checked-in baseline
+//!   (`crates/audit/baseline_a5.txt`): per-file counts may only decrease.
+//!
+//! A finding on a line is suppressed by `// audit:allow(<rule>) -- <reason>`
+//! on the same line or the line directly above. String literals are blanked
+//! and comments stripped before token matching, so rule-pattern strings (in
+//! this crate, say) are never false positives; everything from the first
+//! `#[cfg(test)]` to the end of a file is ignored (the repo keeps test
+//! modules at the bottom).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub mod scrub;
+
+use scrub::{scrub_source, suppressed_rules};
+
+/// Crates whose state mutation must be deterministic: `hash-iter` applies.
+pub const ORDER_SENSITIVE_CRATES: &[&str] = &["core", "decay", "graph"];
+
+/// Crates allowed to read wall clocks and OS RNGs.
+pub const WALL_CLOCK_EXEMPT_CRATES: &[&str] = &["bench", "cli"];
+
+/// The crate whose non-test `unwrap()`/`expect()` count is budgeted.
+pub const UNWRAP_BUDGET_CRATE: &str = "core";
+
+/// Repo-relative path of the A5 baseline file.
+pub const BASELINE_PATH: &str = "crates/audit/baseline_a5.txt";
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`hash-iter`, `float-cmp`, `wall-clock`, `forbid-unsafe`,
+    /// `unwrap-budget`).
+    pub rule: &'static str,
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Result of scanning one source file.
+#[derive(Clone, Debug, Default)]
+pub struct FileReport {
+    /// Error-tier findings (any one fails the audit).
+    pub findings: Vec<Finding>,
+    /// Warn-tier `unwrap()`/`expect()` count (A5; only populated for the
+    /// budgeted crate).
+    pub unwrap_count: usize,
+}
+
+/// Scans one file's source text under the rules that apply to `crate_name`.
+///
+/// `rel_path` is the repo-relative path used in findings (and to decide
+/// whether the file is a crate root for A4).
+pub fn scan_source(crate_name: &str, rel_path: &str, source: &str) -> FileReport {
+    let mut report = FileReport::default();
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let code_lines = scrub_source(source);
+
+    // A4 first: crate roots must forbid unsafe. Checked against the scrubbed
+    // text so a commented-out attribute does not count.
+    let is_crate_root = rel_path.ends_with("src/lib.rs") || rel_path.ends_with("src/main.rs");
+    if is_crate_root && !code_lines.iter().any(|l| l.contains("#![forbid(unsafe_code)]")) {
+        report.findings.push(Finding {
+            rule: "forbid-unsafe",
+            file: rel_path.to_string(),
+            line: 1,
+            message: "crate root lacks #![forbid(unsafe_code)]".into(),
+        });
+    }
+
+    let hash_iter_applies = ORDER_SENSITIVE_CRATES.contains(&crate_name);
+    let wall_clock_applies = !WALL_CLOCK_EXEMPT_CRATES.contains(&crate_name);
+    let unwrap_applies = crate_name == UNWRAP_BUDGET_CRATE;
+
+    // Idents bound to hash collections so far in this file (declarations are
+    // file-ordered, so a single forward pass sees every binding before its
+    // uses — including same-line uses, since declarations are processed
+    // before use checks on each line).
+    let mut hash_idents: Vec<String> = Vec::new();
+
+    let allowed = |rule: &str, idx: usize| -> bool {
+        // A suppression comment covers its own line and the next.
+        suppressed_rules(raw_lines[idx]).iter().any(|r| r == rule)
+            || (idx > 0 && suppressed_rules(raw_lines[idx - 1]).iter().any(|r| r == rule))
+    };
+
+    for (idx, code) in code_lines.iter().enumerate() {
+        // Everything from the first `#[cfg(test)]` down is test code.
+        if code.contains("#[cfg(test)]") {
+            break;
+        }
+        let lineno = idx + 1;
+
+        if hash_iter_applies {
+            for ident in hash_bindings(code) {
+                if !hash_idents.contains(&ident) {
+                    hash_idents.push(ident);
+                }
+            }
+            for ident in &hash_idents {
+                if let Some(kind) = hash_iteration_use(code, ident) {
+                    if !allowed("hash-iter", idx) {
+                        report.findings.push(Finding {
+                            rule: "hash-iter",
+                            file: rel_path.to_string(),
+                            line: lineno,
+                            message: format!(
+                                "{kind} over hash collection `{ident}` — iteration order is \
+                                 randomly seeded per process; use BTreeMap/BTreeSet or sort first"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        if code.contains(".partial_cmp(") && !allowed("float-cmp", idx) {
+            report.findings.push(Finding {
+                rule: "float-cmp",
+                file: rel_path.to_string(),
+                line: lineno,
+                message: ".partial_cmp() on floats is partial (NaN ⇒ None/panic/unstable \
+                          order); use total_cmp"
+                    .into(),
+            });
+        }
+
+        if wall_clock_applies {
+            for token in ["Instant::now", "SystemTime::now", "thread_rng"] {
+                if contains_token(code, token) && !allowed("wall-clock", idx) {
+                    report.findings.push(Finding {
+                        rule: "wall-clock",
+                        file: rel_path.to_string(),
+                        line: lineno,
+                        message: format!(
+                            "{token} is a nondeterministic input — use the logical decay \
+                             clock / seeded ChaCha (or move this to bench/cli)"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if unwrap_applies
+            && (code.contains(".unwrap()") || code.contains(".expect("))
+            && !allowed("unwrap-budget", idx)
+        {
+            report.unwrap_count +=
+                code.matches(".unwrap()").count() + code.matches(".expect(").count();
+        }
+    }
+    report
+}
+
+/// Idents newly bound to a `HashMap`/`HashSet` on this (scrubbed) line:
+/// `let [mut] NAME = ...Hash{Map,Set}...` bindings plus `NAME: ...Hash…`
+/// typed declarations (struct fields, fn params, typed lets).
+fn hash_bindings(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    if !code.contains("HashMap") && !code.contains("HashSet") {
+        return out;
+    }
+    let trimmed = code.trim_start();
+    if trimmed.starts_with("use ") || trimmed.starts_with("pub use ") {
+        return out;
+    }
+    // `let [mut] NAME = … HashMap/HashSet …`
+    if let Some(pos) = code.find("let ") {
+        let rest = code[pos + 4..].trim_start();
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+        if let Some(name) = leading_ident(rest) {
+            out.push(name);
+        }
+    }
+    // `NAME: [&][mut] [path::]Hash{Map,Set}<…>` — fields, params, typed lets.
+    for marker in ["HashMap", "HashSet"] {
+        let mut from = 0;
+        while let Some(off) = code[from..].find(marker) {
+            let at = from + off;
+            from = at + marker.len();
+            if let Some(name) = ident_before_type(code, at) {
+                if !out.contains(&name) {
+                    out.push(name);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The ident at the start of `s`, if any.
+fn leading_ident(s: &str) -> Option<String> {
+    let end = s.find(|c: char| !c.is_alphanumeric() && c != '_').unwrap_or(s.len());
+    if end == 0 || s.as_bytes()[0].is_ascii_digit() {
+        None
+    } else {
+        Some(s[..end].to_string())
+    }
+}
+
+/// For a type occurrence at byte `at`, walks left over the path
+/// (`std::collections::`), an optional `&`/`mut`, and a `:` type separator
+/// (not `::`), returning the declared ident before the colon.
+fn ident_before_type(code: &str, at: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut i = at;
+    // Skip the path prefix: idents and `::` pairs (a lone `:` is the
+    // declaration separator and stops the walk).
+    while i > 0 {
+        let c = bytes[i - 1];
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            i -= 1;
+        } else if c == b':' && i >= 2 && bytes[i - 2] == b':' {
+            i -= 2;
+        } else {
+            break;
+        }
+    }
+    // Optional `&`, `&mut `, whitespace.
+    loop {
+        let rest = &code[..i];
+        let t = rest.trim_end();
+        if let Some(p) = t.strip_suffix("mut") {
+            i = p.len();
+        } else if let Some(p) = t.strip_suffix('&') {
+            i = p.len();
+        } else if t.len() != rest.len() {
+            i = t.len();
+        } else {
+            break;
+        }
+    }
+    // Require a single `:` separator.
+    let t = code[..i].trim_end();
+    let t = t.strip_suffix(':')?;
+    if t.ends_with(':') {
+        return None; // `::` — path segment, not a declaration
+    }
+    let t = t.trim_end();
+    let start = t.rfind(|c: char| !c.is_alphanumeric() && c != '_').map_or(0, |p| p + 1);
+    let name = &t[start..];
+    if name.is_empty() || name.as_bytes()[0].is_ascii_digit() {
+        None
+    } else {
+        Some(name.to_string())
+    }
+}
+
+/// Whether this line iterates the tracked hash binding `ident`; returns a
+/// short description of the construct if so.
+fn hash_iteration_use(code: &str, ident: &str) -> Option<&'static str> {
+    for (suffix, kind) in [
+        (".iter()", ".iter()"),
+        (".into_iter()", ".into_iter()"),
+        (".keys()", ".keys()"),
+        (".values()", ".values()"),
+        (".values_mut()", ".values_mut()"),
+        (".drain(", ".drain()"),
+    ] {
+        let pat = format!("{ident}{suffix}");
+        if find_with_boundary(code, &pat, ident.len()).is_some() {
+            return Some(kind);
+        }
+    }
+    // `for x in [&[mut ]][self.]ident [{]` — direct loop over the collection.
+    if code.contains("for ") {
+        let mut from = 0;
+        while let Some(off) = code[from..].find(ident) {
+            let at = from + off;
+            from = at + 1;
+            let end = at + ident.len();
+            if (at > 0 && is_word_byte(code.as_bytes()[at - 1]) && !code[..at].ends_with("self."))
+                || (end < code.len() && is_word_byte(code.as_bytes()[end]))
+            {
+                continue; // part of a longer ident (other than a self. field)
+            }
+            // Walk left over an optional `self.` receiver and `&`/`&mut`
+            // borrow, then require the `in` keyword.
+            let mut pre = code[..at].strip_suffix("self.").unwrap_or(&code[..at]);
+            pre = pre.trim_end_matches("&mut ").trim_end_matches('&');
+            let from_in = pre.trim_end();
+            let is_in = from_in.ends_with(" in") || from_in == "in";
+            // And the collection must be the whole loop source, not the
+            // receiver of some adapter call (`.iter()` cases handled above).
+            let after = code[end..].trim_start();
+            if is_in && (after.is_empty() || after.starts_with('{')) {
+                return Some("for-loop");
+            }
+        }
+    }
+    None
+}
+
+/// Finds `pat` in `code` such that the char before the match and the char
+/// after the first `ident_len` bytes are word boundaries for the ident part.
+fn find_with_boundary(code: &str, pat: &str, ident_len: usize) -> Option<usize> {
+    let mut from = 0;
+    while let Some(off) = code[from..].find(pat) {
+        let at = from + off;
+        from = at + 1;
+        let before_ok = at == 0 || !is_word_byte(code.as_bytes()[at - 1]);
+        let end = at + ident_len;
+        let after_ok = end >= code.len() || !is_word_byte(code.as_bytes()[end]) || {
+            // pat longer than ident (e.g. `ident.iter()`): boundary is built in.
+            pat.len() > ident_len
+        };
+        if before_ok && after_ok {
+            return Some(at);
+        }
+    }
+    None
+}
+
+fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Whether `code` contains `token` on word boundaries.
+fn contains_token(code: &str, token: &str) -> bool {
+    let mut from = 0;
+    while let Some(off) = code[from..].find(token) {
+        let at = from + off;
+        from = at + 1;
+        // `:` before is fine — `std::time::Instant::now` is still the token.
+        let before_ok = at == 0 || !is_word_byte(code.as_bytes()[at - 1]);
+        let end = at + token.len();
+        let after_ok = end >= code.len() || !is_word_byte(code.as_bytes()[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+    }
+    false
+}
+
+// --- tree walking ---------------------------------------------------------
+
+/// Aggregate result of auditing a source tree.
+#[derive(Clone, Debug, Default)]
+pub struct AuditReport {
+    /// All error-tier findings, in deterministic (path, line) order.
+    pub findings: Vec<Finding>,
+    /// Per-file `unwrap()`/`expect()` counts for the budgeted crate
+    /// (repo-relative path → count; files with count 0 omitted).
+    pub unwrap_counts: BTreeMap<String, usize>,
+}
+
+/// Scans every `crates/*/src/**/*.rs` under `root`.
+///
+/// Directory entries are sorted so the report order is stable across
+/// filesystems.
+pub fn scan_tree(root: &Path) -> std::io::Result<AuditReport> {
+    let mut report = AuditReport::default();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let crate_name =
+            crate_dir.file_name().and_then(|n| n.to_str()).unwrap_or_default().to_string();
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+        for file in files {
+            let source = std::fs::read_to_string(&file)?;
+            let rel = file.strip_prefix(root).unwrap_or(&file).display().to_string();
+            let fr = scan_source(&crate_name, &rel, &source);
+            report.findings.extend(fr.findings);
+            if fr.unwrap_count > 0 {
+                report.unwrap_counts.insert(rel, fr.unwrap_count);
+            }
+        }
+    }
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+// --- A5 baseline ratchet --------------------------------------------------
+
+/// Parses the checked-in baseline file: `# comment` lines plus
+/// `<repo-relative-path> <count>` entries.
+pub fn parse_baseline(text: &str) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((path, count)) = line.rsplit_once(' ') {
+            if let Ok(count) = count.trim().parse::<usize>() {
+                out.insert(path.trim().to_string(), count);
+            }
+        }
+    }
+    out
+}
+
+/// Renders per-file counts in the baseline file format.
+pub fn format_baseline(counts: &BTreeMap<String, usize>) -> String {
+    let mut s = String::from(
+        "# anc-audit unwrap/expect baseline (rule unwrap-budget / A5).\n\
+         # Per-file counts of .unwrap()/.expect( in non-test anc-core code.\n\
+         # The ratchet only goes down: regenerate with `cargo run -p anc-audit -- \
+         --update-baseline`\n\
+         # after REMOVING unwraps; adding one needs an inline audit:allow with a reason.\n",
+    );
+    for (path, count) in counts {
+        s.push_str(&format!("{path} {count}\n"));
+    }
+    s
+}
+
+/// Applies the ratchet: any file over its baseline count (or any new file
+/// with unwraps) is an error-tier finding; files now under budget produce a
+/// note suggesting a baseline refresh.
+pub fn ratchet(
+    baseline: &BTreeMap<String, usize>,
+    current: &BTreeMap<String, usize>,
+) -> (Vec<Finding>, Vec<String>) {
+    let mut errors = Vec::new();
+    let mut notes = Vec::new();
+    for (path, &count) in current {
+        let allowed = baseline.get(path).copied().unwrap_or(0);
+        if count > allowed {
+            errors.push(Finding {
+                rule: "unwrap-budget",
+                file: path.clone(),
+                line: 0,
+                message: format!(
+                    "{count} unwrap()/expect() calls exceed the baseline of {allowed}; \
+                     handle the error or add `// audit:allow(unwrap-budget) -- <reason>`"
+                ),
+            });
+        } else if count < allowed {
+            notes.push(format!(
+                "{path}: {count} unwrap()/expect() calls, baseline {allowed} — \
+                 run with --update-baseline to ratchet down"
+            ));
+        }
+    }
+    for (path, &allowed) in baseline {
+        if allowed > 0 && !current.contains_key(path) {
+            notes.push(format!(
+                "{path}: now 0 unwrap()/expect() calls, baseline {allowed} — \
+                 run with --update-baseline to ratchet down"
+            ));
+        }
+    }
+    (errors, notes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_iteration_is_flagged_in_sensitive_crates() {
+        let src = "fn f() {\n    let mut m = std::collections::HashMap::new();\n    m.insert(1, 2);\n    for (k, v) in m.iter() {\n        drop((k, v));\n    }\n}\n";
+        let r = scan_source("core", "crates/core/src/x.rs", src);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].rule, "hash-iter");
+        assert_eq!(r.findings[0].line, 4);
+        // Same source in an order-insensitive crate: clean.
+        let r = scan_source("bench", "crates/bench/src/x.rs", src);
+        assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn hash_field_and_for_loop_are_flagged() {
+        let src = "struct S {\n    watched: std::collections::HashSet<u32>,\n}\nimpl S {\n    fn f(&self) {\n        for v in &self.watched {\n            drop(v);\n        }\n    }\n}\n";
+        let r = scan_source("core", "crates/core/src/vote.rs", src);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].rule, "hash-iter");
+        assert_eq!(r.findings[0].line, 6);
+    }
+
+    #[test]
+    fn hash_membership_is_not_iteration() {
+        let src = "fn f() {\n    let mut s = std::collections::HashSet::new();\n    s.insert(3);\n    assert!(s.contains(&3));\n    let n = s.len();\n    drop(n);\n}\n";
+        let r = scan_source("graph", "crates/graph/src/x.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn similarly_named_idents_do_not_collide() {
+        // `seed_set` is a hash set; `seeds` is not — `seeds.iter()` is fine.
+        let src = "fn f(seeds: &[u32]) {\n    let seed_set: std::collections::HashSet<u32> = seeds.iter().copied().collect();\n    assert!(seed_set.contains(&0));\n}\n";
+        let r = scan_source("core", "crates/core/src/x.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn partial_cmp_call_sites_are_flagged_but_not_impls() {
+        let flagged =
+            "fn f(v: &mut Vec<f64>) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+        let r = scan_source("bench", "crates/bench/src/x.rs", flagged);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "float-cmp");
+        // A `PartialOrd` impl defines `fn partial_cmp` without a call site.
+        let imp = "impl PartialOrd for X {\n    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {\n        Some(self.cmp(other))\n    }\n}\n";
+        let r = scan_source("graph", "crates/graph/src/x.rs", imp);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn wall_clock_flagged_outside_bench_and_cli() {
+        let src = "fn f() {\n    let t = std::time::Instant::now();\n    drop(t);\n}\n";
+        assert_eq!(scan_source("core", "crates/core/src/x.rs", src).findings.len(), 1);
+        assert!(scan_source("bench", "crates/bench/src/x.rs", src).findings.is_empty());
+        assert!(scan_source("cli", "crates/cli/src/x.rs", src).findings.is_empty());
+    }
+
+    #[test]
+    fn suppression_covers_same_and_next_line() {
+        let same = "fn f() {\n    let t = Instant::now(); // audit:allow(wall-clock) -- timing display only\n    drop(t);\n}\n";
+        assert!(scan_source("core", "crates/core/src/x.rs", same).findings.is_empty());
+        let above = "fn f() {\n    // audit:allow(wall-clock) -- timing display only\n    let t = Instant::now();\n    drop(t);\n}\n";
+        assert!(scan_source("core", "crates/core/src/x.rs", above).findings.is_empty());
+        // The wrong rule id does not suppress.
+        let wrong = "fn f() {\n    // audit:allow(float-cmp) -- mismatched\n    let t = Instant::now();\n    drop(t);\n}\n";
+        assert_eq!(scan_source("core", "crates/core/src/x.rs", wrong).findings.len(), 1);
+    }
+
+    #[test]
+    fn patterns_inside_strings_and_comments_are_ignored() {
+        let src = "fn f() -> &'static str {\n    // Instant::now() in a comment is fine\n    \"contains .partial_cmp( and Instant::now and thread_rng\"\n}\n";
+        let r = scan_source("core", "crates/core/src/x.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() {\n        let t = std::time::Instant::now();\n        let x: f64 = 1.0;\n        let _ = x.partial_cmp(&x).unwrap();\n        drop(t);\n    }\n}\n";
+        let r = scan_source("core", "crates/core/src/x.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.unwrap_count, 0);
+    }
+
+    #[test]
+    fn forbid_unsafe_checked_on_crate_roots_only() {
+        let bare = "pub fn f() {}\n";
+        let r = scan_source("core", "crates/core/src/lib.rs", bare);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "forbid-unsafe");
+        assert!(scan_source("core", "crates/core/src/other.rs", bare).findings.is_empty());
+        let good = "#![forbid(unsafe_code)]\npub fn f() {}\n";
+        assert!(scan_source("core", "crates/core/src/lib.rs", good).findings.is_empty());
+    }
+
+    #[test]
+    fn unwrap_budget_counts_core_only_and_skips_unwrap_or() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    let a = x.unwrap();\n    let b = x.expect(\"reason\");\n    let c = x.unwrap_or(0);\n    let d = x.unwrap_or_else(|| 1);\n    a + b + c + d\n}\n";
+        let r = scan_source("core", "crates/core/src/x.rs", src);
+        assert_eq!(r.unwrap_count, 2, "unwrap_or/unwrap_or_else are not in budget");
+        assert!(r.findings.is_empty());
+        assert_eq!(scan_source("graph", "crates/graph/src/x.rs", src).unwrap_count, 0);
+    }
+
+    #[test]
+    fn ratchet_flags_increases_and_notes_decreases() {
+        let baseline = BTreeMap::from([("a.rs".to_string(), 2), ("b.rs".to_string(), 1)]);
+        let current = BTreeMap::from([("a.rs".to_string(), 3), ("c.rs".to_string(), 1)]);
+        let (errors, notes) = ratchet(&baseline, &current);
+        assert_eq!(errors.len(), 2, "{errors:?}"); // a.rs over budget, c.rs new
+        assert_eq!(notes.len(), 1, "{notes:?}"); // b.rs dropped to zero
+        let (errors, notes) = ratchet(&baseline, &baseline);
+        assert!(errors.is_empty() && notes.is_empty());
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let counts = BTreeMap::from([
+            ("crates/core/src/engine.rs".to_string(), 2),
+            ("crates/core/src/other.rs".to_string(), 7),
+        ]);
+        assert_eq!(parse_baseline(&format_baseline(&counts)), counts);
+        assert!(parse_baseline("# only comments\n\n").is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! `anc-audit` binary: run the determinism lint pass over the workspace.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p anc-audit --release [-- --root <dir>] [--update-baseline]
+//! ```
+//!
+//! Exits 0 when the tree is clean (no unsuppressed findings and the
+//! unwrap/expect counts are within the checked-in baseline), 1 on findings,
+//! 2 on usage/I-O errors. `--update-baseline` rewrites
+//! `crates/audit/baseline_a5.txt` from the current counts — only do this
+//! after *removing* unwraps; additions need an inline `audit:allow`.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use anc_audit::{format_baseline, parse_baseline, ratchet, scan_tree, BASELINE_PATH};
+
+fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut update_baseline = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--update-baseline" => update_baseline = true,
+            other => {
+                eprintln!("unknown argument {other:?}; usage: anc-audit [--root <dir>] [--update-baseline]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(|| std::env::current_dir().ok().as_deref().and_then(find_root)) {
+        Some(r) => r,
+        None => {
+            eprintln!("cannot find workspace root (a dir with Cargo.toml + crates/); pass --root");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match scan_tree(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("audit failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_file = root.join(BASELINE_PATH);
+    if update_baseline {
+        if let Err(e) = std::fs::write(&baseline_file, format_baseline(&report.unwrap_counts)) {
+            eprintln!("cannot write {}: {e}", baseline_file.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "[anc-audit] baseline updated: {} file(s), {} unwrap/expect call(s)",
+            report.unwrap_counts.len(),
+            report.unwrap_counts.values().sum::<usize>()
+        );
+    }
+    let baseline = match std::fs::read_to_string(&baseline_file) {
+        Ok(text) => parse_baseline(&text),
+        Err(e) => {
+            eprintln!(
+                "cannot read baseline {}: {e}; run with --update-baseline to create it",
+                baseline_file.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let (budget_errors, notes) = ratchet(&baseline, &report.unwrap_counts);
+
+    let mut failed = false;
+    for f in report.findings.iter().chain(budget_errors.iter()) {
+        println!("{f}");
+        failed = true;
+    }
+    for note in &notes {
+        println!("note: {note}");
+    }
+    if failed {
+        println!(
+            "[anc-audit] FAIL: {} finding(s) — see DESIGN.md §8 for rules and suppression syntax",
+            report.findings.len() + budget_errors.len()
+        );
+        ExitCode::from(1)
+    } else {
+        println!(
+            "[anc-audit] OK: workspace clean ({} unwrap/expect within baseline)",
+            report.unwrap_counts.values().sum::<usize>()
+        );
+        ExitCode::SUCCESS
+    }
+}

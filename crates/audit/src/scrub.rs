@@ -1,0 +1,239 @@
+//! Source scrubbing: turns Rust source into per-line "code only" text.
+//!
+//! The scanner in [`crate::scan_source`] matches plain substrings, so before
+//! matching, this module removes everything that is not code:
+//!
+//! * line comments (`//` to end of line, which also covers `///` and `//!`
+//!   doc comments) are dropped;
+//! * block comments (`/* … */`, nested) are dropped, across lines;
+//! * string literals (`"…"` with escapes, raw strings `r"…"`/`r#"…"#`) are
+//!   *blanked* — replaced by spaces — so the rule patterns spelled inside
+//!   this very crate's message strings are never findings;
+//! * char literals (`'x'`, `'\n'`) are blanked, while lifetimes (`'a`) are
+//!   left alone (an unmatched `'` must not open a string-like state).
+//!
+//! Line structure is preserved exactly: output line `i` corresponds to input
+//! line `i`, so findings carry real line numbers.
+
+/// Scrubber state across characters.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    /// Inside `/* … */`; payload is the nesting depth.
+    Block(u32),
+    Str,
+    /// Inside `r##"…"##`; payload is the number of `#`s.
+    RawStr(u32),
+}
+
+/// Scrubs `source` into one code-only string per input line.
+pub fn scrub_source(source: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut state = State::Code;
+    for line in source.lines() {
+        out.push(scrub_line(line, &mut state));
+        // A line comment and a normal string never span lines; an unclosed
+        // `"` at EOL is invalid Rust, so resetting is the safe recovery.
+        if state == State::Str {
+            state = State::Code;
+        }
+    }
+    out
+}
+
+fn scrub_line(line: &str, state: &mut State) -> String {
+    let b: Vec<char> = line.chars().collect();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    while i < b.len() {
+        match *state {
+            State::Block(depth) => {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    *state = State::Block(depth + 1);
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    *state = if depth == 1 { State::Code } else { State::Block(depth - 1) };
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b[i] == '\\' {
+                    i += 2; // skip the escaped char (covers \" and \\)
+                } else if b[i] == '"' {
+                    *state = State::Code;
+                    i += 1;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if b[i] == '"' && closes_raw(&b, i + 1, hashes) {
+                    *state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::Code => {
+                let c = b[i];
+                if c == '/' && b.get(i + 1) == Some(&'/') {
+                    break; // line comment (also /// and //!): drop the rest
+                } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                    *state = State::Block(1);
+                    i += 2;
+                } else if c == '"' {
+                    out.push('"');
+                    *state = State::Str;
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && is_raw_string_start(&b, i) {
+                    // r"…", r#"…"#, br"…" — count the hashes.
+                    let mut j = i + 1;
+                    if b.get(j) == Some(&'r') {
+                        j += 1; // the `r` of `br`
+                    }
+                    let mut hashes = 0u32;
+                    while b.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    out.push('"');
+                    *state = State::RawStr(hashes);
+                    i = j + 1; // past the opening quote
+                } else if c == '\'' {
+                    // Char literal vs lifetime. `'\…'` and `'x'` are char
+                    // literals; `'a` / `'static` are lifetimes.
+                    if b.get(i + 1) == Some(&'\\') {
+                        // Escaped char literal: skip to the closing quote.
+                        let mut j = i + 2;
+                        while j < b.len() && b[j] != '\'' {
+                            j += 1;
+                        }
+                        out.push(' ');
+                        i = j + 1;
+                    } else if b.get(i + 2) == Some(&'\'') {
+                        out.push(' ');
+                        i += 3; // 'x'
+                    } else {
+                        out.push('\''); // lifetime; keep and move on
+                        i += 1;
+                    }
+                } else {
+                    // Word-boundary guard: `r` inside an ident is not a raw
+                    // string prefix — handled by is_raw_string_start above.
+                    out.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Whether the `r`/`b` at position `i` begins a raw string literal (and not,
+/// say, the tail of an identifier like `var` followed by `"..."`).
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    if i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i + 1;
+    if b[i] == 'b' {
+        if b.get(j) != Some(&'r') {
+            return false;
+        }
+        j += 1;
+    }
+    while b.get(j) == Some(&'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&'"')
+}
+
+/// Whether `hashes` many `#`s follow position `from` (closing a raw string).
+fn closes_raw(b: &[char], from: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| b.get(from + k) == Some(&'#'))
+}
+
+/// Rule ids named by an `audit:allow(<rules>)` marker on this *raw* line.
+///
+/// Syntax: `// audit:allow(rule-a, rule-b) -- why this is fine`. The marker
+/// is looked up on the raw (unscrubbed) line because it lives in a comment.
+pub fn suppressed_rules(raw_line: &str) -> Vec<String> {
+    let Some(at) = raw_line.find("audit:allow(") else {
+        return Vec::new();
+    };
+    let rest = &raw_line[at + "audit:allow(".len()..];
+    let Some(close) = rest.find(')') else {
+        return Vec::new();
+    };
+    rest[..close].split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_dropped() {
+        let out = scrub_source("let x = 1; // Instant::now\n/// doc .iter()\ncode();\n");
+        assert_eq!(out[0], "let x = 1; ");
+        assert_eq!(out[1], "");
+        assert_eq!(out[2], "code();");
+    }
+
+    #[test]
+    fn nested_block_comments_span_lines() {
+        let out = scrub_source("a(); /* one /* two\nstill comment */ still */ b();\nc();\n");
+        assert_eq!(out[0], "a(); ");
+        assert_eq!(out[1], " b();");
+        assert_eq!(out[2], "c();");
+    }
+
+    #[test]
+    fn strings_are_blanked_not_removed() {
+        let out = scrub_source("let s = \"thread_rng and .iter()\"; f(s);\n");
+        assert!(!out[0].contains("thread_rng"));
+        assert!(!out[0].contains(".iter()"));
+        assert!(out[0].contains("f(s);"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let out = scrub_source("let s = \"a \\\" Instant::now\"; g();\n");
+        assert!(!out[0].contains("Instant::now"));
+        assert!(out[0].contains("g();"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let out = scrub_source("let s = r#\"has \"quotes\" and thread_rng\"#; h();\n");
+        assert!(!out[0].contains("thread_rng"), "{:?}", out[0]);
+        assert!(out[0].contains("h();"));
+    }
+
+    #[test]
+    fn char_literals_blank_but_lifetimes_survive() {
+        let out = scrub_source("fn f<'a>(x: &'a str) -> char { '\"' }\n");
+        // The quote char literal must not open string state.
+        assert!(out[0].contains("&'a str"));
+        let out = scrub_source("let c = 'x'; let q = '\\''; i();\n");
+        assert!(out[0].contains("i();"));
+    }
+
+    #[test]
+    fn suppression_parsing() {
+        assert_eq!(
+            suppressed_rules("let t = x; // audit:allow(wall-clock) -- display only"),
+            vec!["wall-clock"]
+        );
+        assert_eq!(
+            suppressed_rules("// audit:allow(hash-iter, unwrap-budget) -- reason"),
+            vec!["hash-iter", "unwrap-budget"]
+        );
+        assert!(suppressed_rules("plain code line").is_empty());
+        assert!(suppressed_rules("// audit:allow( unclosed").is_empty());
+    }
+}

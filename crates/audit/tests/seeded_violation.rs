@@ -1,0 +1,81 @@
+//! End-to-end checks for the audit pass, per the acceptance criteria:
+//!
+//! 1. the real workspace scans clean (exit 0 / no findings), and
+//! 2. re-seeding a violation — HashMap iteration in `core`'s `vote.rs` —
+//!    is caught (nonzero verdict).
+//!
+//! The seeded case runs against a synthetic tree in a temp directory so the
+//! real sources are never touched.
+
+use std::path::{Path, PathBuf};
+
+use anc_audit::{parse_baseline, ratchet, scan_tree};
+
+fn repo_root() -> PathBuf {
+    // crates/audit → crates → repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).unwrap().to_path_buf()
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let root = repo_root();
+    let report = scan_tree(&root).expect("scan the real tree");
+    assert!(
+        report.findings.is_empty(),
+        "workspace must be audit-clean, found:\n{}",
+        report.findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+    let baseline_text =
+        std::fs::read_to_string(root.join(anc_audit::BASELINE_PATH)).expect("baseline file");
+    let (errors, _notes) = ratchet(&parse_baseline(&baseline_text), &report.unwrap_counts);
+    assert!(errors.is_empty(), "unwrap counts must be within baseline: {errors:?}");
+}
+
+#[test]
+fn seeded_hash_iteration_fails_the_audit() {
+    let tmp = std::env::temp_dir().join(format!("anc-audit-seeded-{}", std::process::id()));
+    let core_src = tmp.join("crates/core/src");
+    std::fs::create_dir_all(&core_src).unwrap();
+    // A vote.rs with the exact anti-pattern the lint exists to keep out:
+    // iterating a HashSet while mutating deterministic state.
+    std::fs::write(
+        core_src.join("vote.rs"),
+        "use std::collections::HashSet;\n\
+         pub fn drain_watched(watched: &HashSet<u32>, out: &mut Vec<u32>) {\n\
+         \x20   for v in watched.iter() {\n\
+         \x20       out.push(*v);\n\
+         \x20   }\n\
+         }\n",
+    )
+    .unwrap();
+    std::fs::write(core_src.join("lib.rs"), "#![forbid(unsafe_code)]\npub mod vote;\n").unwrap();
+
+    let report = scan_tree(&tmp).expect("scan the seeded tree");
+    std::fs::remove_dir_all(&tmp).unwrap();
+
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    let f = &report.findings[0];
+    assert_eq!(f.rule, "hash-iter");
+    assert_eq!(f.file, "crates/core/src/vote.rs");
+    assert_eq!(f.line, 3);
+}
+
+#[test]
+fn seeded_unwrap_over_baseline_fails_the_ratchet() {
+    let tmp = std::env::temp_dir().join(format!("anc-audit-ratchet-{}", std::process::id()));
+    let core_src = tmp.join("crates/core/src");
+    std::fs::create_dir_all(&core_src).unwrap();
+    std::fs::write(
+        core_src.join("lib.rs"),
+        "#![forbid(unsafe_code)]\npub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    )
+    .unwrap();
+    let report = scan_tree(&tmp).expect("scan");
+    std::fs::remove_dir_all(&tmp).unwrap();
+
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    // Empty baseline: the new unwrap must trip the ratchet.
+    let (errors, _) = ratchet(&std::collections::BTreeMap::new(), &report.unwrap_counts);
+    assert_eq!(errors.len(), 1, "{errors:?}");
+    assert_eq!(errors[0].rule, "unwrap-budget");
+}

@@ -29,7 +29,7 @@ fn main() {
                 let mut engine = AncEngine::new(g.clone(), cfg, args.seed);
                 let (_, total) = time(|| {
                     for batch in &s.batches {
-                        engine.activate_batch(&batch.edges, batch.time);
+                        let _ = engine.activate_batch(&batch.edges, batch.time);
                     }
                 });
                 let per_act = total / acts as f64;

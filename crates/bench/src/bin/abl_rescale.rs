@@ -45,7 +45,7 @@ fn main() {
         let mut engine = AncEngine::new(g.clone(), cfg, args.seed);
         let (_, secs) = time(|| {
             for batch in &s.batches {
-                engine.activate_batch(&batch.edges, batch.time);
+                let _ = engine.activate_batch(&batch.edges, batch.time);
             }
         });
         engine.check_invariants().expect("invariants hold");

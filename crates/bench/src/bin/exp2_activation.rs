@@ -101,7 +101,7 @@ fn main() {
                 let (_, dt) = time(|| anco.activate_batch(&batch.edges, batch.time));
                 t_anco += dt;
                 let (_, dt) = time(|| {
-                    ancor.activate_batch(&batch.edges, batch.time);
+                    let _ = ancor.activate_batch(&batch.edges, batch.time);
                     ancor_window.extend_from_slice(&batch.edges);
                     if step_idx % ANCOR_INTERVAL == 0 {
                         ancor_window.sort_unstable();

@@ -48,7 +48,7 @@ fn main() {
                 std::hint::black_box(c.num_clusters());
                 samples.push(secs);
             }
-            samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            samples.sort_by(|a, b| a.total_cmp(b));
             let secs = samples[1];
             eprintln!("[exp5] {name} level {level}: {secs:.4}s");
             row.push(format!("{secs:.4}"));

@@ -35,13 +35,15 @@ fn main() {
 
     let s = stream::uniform_per_step(&g, steps, 0.002, args.seed ^ 0x57);
     let total = s.total_activations();
-    let (_, stream_secs) = time(|| {
+    let (repairs, stream_secs) = time(|| {
+        let mut repairs = 0usize;
         for batch in &s.batches {
-            engine.activate_batch(&batch.edges, batch.time);
+            repairs += engine.activate_batch(&batch.edges, batch.time).repair_updates;
         }
+        repairs
     });
     println!(
-        "[stress] {total} activations in {stream_secs:.1}s ({:.0} act/s, {:.1} µs/act)",
+        "[stress] {total} activations in {stream_secs:.1}s ({:.0} act/s, {:.1} µs/act, {repairs} index repairs)",
         total as f64 / stream_secs,
         stream_secs / total as f64 * 1e6
     );

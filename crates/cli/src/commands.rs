@@ -158,13 +158,18 @@ pub fn stream(opts: &Options) -> Result<String, String> {
     };
     let t0 = engine.now();
     let started = std::time::Instant::now();
+    let (mut dirty, mut repairs, mut skips) = (0usize, 0usize, 0usize);
     for batch in &s.batches {
-        engine.activate_batch(&batch.edges, t0 + batch.time);
+        let stats = engine.activate_batch(&batch.edges, t0 + batch.time);
+        dirty += stats.dirty_edges;
+        repairs += stats.repair_updates;
+        skips += stats.repair_skips;
     }
     let secs = started.elapsed().as_secs_f64();
     save_engine(&engine, out)?;
     Ok(format!(
         "streamed {} activations over {} batches in {secs:.2}s ({:.1}k act/s); \
+         {dirty} dirty edges, {repairs} index repairs ({skips} skipped); \
          engine now at t = {} with {} lifetime activations → {out}\n",
         s.total_activations(),
         s.batches.len(),

@@ -1,5 +1,7 @@
 //! The `anc` binary: see [`anc_cli::usage`] or `anc help`.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match anc_cli::run(&args) {

@@ -30,6 +30,7 @@ use rayon::prelude::*;
 
 use crate::cluster::{cluster_all, ClusterMode};
 use crate::config::{AncConfig, BatchMode};
+use crate::invariant::{self, InvariantViolation};
 use crate::pyramid::Pyramids;
 use crate::query;
 use crate::reinforce::{
@@ -41,6 +42,7 @@ use crate::similarity::{NodeType, Scratch, ScratchPool, SimilarityCtx};
 /// [`AncEngine::activate_batch_adaptive`]) call — the observability surface
 /// of the batch-ingestion pipeline (see DESIGN.md §7).
 #[derive(Clone, Copy, Debug, Default)]
+#[must_use = "BatchStats carries the batch's dirty-set and repair counters"]
 pub struct BatchStats {
     /// Activations fed into the batch.
     pub edges_in: usize,
@@ -314,6 +316,9 @@ impl AncEngine {
     /// recomputation across the batch and parallelizes it. Both are
     /// deterministic regardless of the rayon thread count.
     pub fn activate_batch(&mut self, edges: &[EdgeId], t: Time) -> BatchStats {
+        // BatchStats.wall is observability-only; it never feeds the
+        // algorithms and is not serialized into snapshots.
+        // audit:allow(wall-clock) -- wall time is reported, never consumed
         let start = Instant::now();
         let mut stats = BatchStats { edges_in: edges.len(), ..Default::default() };
         if !edges.is_empty() {
@@ -323,6 +328,8 @@ impl AncEngine {
             }
         }
         stats.wall = start.elapsed();
+        #[cfg(feature = "debug-invariants")]
+        self.debug_assert_invariants("activate_batch");
         stats
     }
 
@@ -515,6 +522,9 @@ impl AncEngine {
         if edges.len() < threshold {
             return self.activate_batch(edges, t);
         }
+        // BatchStats.wall is observability-only; it never feeds the
+        // algorithms and is not serialized into snapshots.
+        // audit:allow(wall-clock) -- wall time is reported, never consumed
         let start = Instant::now();
         let mut stats = BatchStats { edges_in: edges.len(), rebuilt: true, ..Default::default() };
         // State updates without per-activation index repair…
@@ -546,6 +556,8 @@ impl AncEngine {
         dirty.dedup();
         stats.dirty_edges = dirty.len();
         stats.wall = start.elapsed();
+        #[cfg(feature = "debug-invariants")]
+        self.debug_assert_invariants("activate_batch_adaptive");
         stats
     }
 
@@ -714,19 +726,38 @@ impl AncEngine {
             + (self.node_sum.len() + self.sim.len() + self.recip.len()) * std::mem::size_of::<f64>()
     }
 
-    /// Verifies every index invariant against the current weights (testing
-    /// aid; `O(k · m log n)`).
-    pub fn check_invariants(&self) -> Result<(), String> {
-        for (e, s) in self.sim.iter().enumerate() {
-            if !s.is_finite() || *s <= 0.0 {
-                return Err(format!("similarity of edge {e} is {s}"));
-            }
-            let r = self.recip[e];
-            if (r - 1.0 / s).abs() > 1e-9 * r.abs() {
-                return Err(format!("recip of edge {e} out of sync"));
-            }
+    /// Verifies every engine invariant against the current state (testing
+    /// aid; `O(k · m log n)`): CSR well-formedness, activeness finiteness
+    /// and Def. 2 consistency, similarity positivity and `1/S*` sync,
+    /// pyramid shape, per-partition shortest-path-forest soundness, and
+    /// validity of the default-level clustering. See [`crate::invariant`]
+    /// for the catalogue.
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        invariant::check_graph(&self.g)?;
+        invariant::check_activeness(&self.g, self.act.as_slice(), &self.node_sum)?;
+        invariant::check_similarities(&self.sim)?;
+        invariant::check_recip_sync(&self.sim, &self.recip)?;
+        self.pyramids.check_invariants(&self.g, &self.recip)?;
+        let c = self.cluster_all(self.default_level(), ClusterMode::Power);
+        invariant::check_clustering(&self.g, &c)
+    }
+
+    /// Batch-boundary hook of the `debug-invariants` feature: panics on the
+    /// first violated invariant. Compiled out entirely when the feature is
+    /// disabled.
+    #[cfg(feature = "debug-invariants")]
+    fn debug_assert_invariants(&self, site: &str) {
+        if let Err(v) = self.check_invariants() {
+            panic!("debug-invariants after {site}: {v}");
         }
-        self.pyramids.check_invariants(&self.g, &self.recip)
+    }
+
+    /// Desynchronizes one cached `A(v)` from the edge activeness so the
+    /// negative invariant tests can prove the checker catches it. Not part
+    /// of the public API.
+    #[doc(hidden)]
+    pub fn corrupt_node_sum_for_test(&mut self, v: NodeId, delta: f64) {
+        self.node_sum[v as usize] += delta;
     }
 }
 
@@ -850,7 +881,8 @@ mod tests {
             .collect();
         for t in 1..=30 {
             let edges = clique0.clone();
-            engine.activate_batch(&edges, t as f64);
+            let stats = engine.activate_batch(&edges, t as f64);
+            assert_eq!(stats.edges_in, edges.len());
         }
         let hot = engine.similarity(clique0[0]);
         let cold_edge = engine
@@ -948,9 +980,11 @@ mod tests {
         let mut b = AncEngine::new(lg.graph.clone(), cfg, 11);
         let m = lg.graph.m() as u32;
         let batch: Vec<u32> = (0..40).map(|i| (i * 3 + 1) % m).collect();
-        a.activate_batch(&batch, 2.0);
-        b.activate_batch_adaptive(&batch, 2.0, Some(1)); // force rebuild path
-                                                         // Identical state…
+        let sa = a.activate_batch(&batch, 2.0);
+        let sb = b.activate_batch_adaptive(&batch, 2.0, Some(1)); // force rebuild path
+        assert!(!sa.rebuilt);
+        assert!(sb.rebuilt);
+        // Identical state…
         for e in 0..m {
             assert_eq!(a.similarity(e), b.similarity(e));
             assert_eq!(a.activeness(e), b.activeness(e));
@@ -971,7 +1005,8 @@ mod tests {
         // Below the threshold it takes the incremental path.
         let mut c =
             AncEngine::new(lg.graph.clone(), AncConfig { rep: 1, k: 2, ..Default::default() }, 11);
-        c.activate_batch_adaptive(&batch[..2], 1.0, Some(1000));
+        let sc = c.activate_batch_adaptive(&batch[..2], 1.0, Some(1000));
+        assert!(!sc.rebuilt, "below threshold must take the incremental path");
         c.check_invariants().unwrap();
     }
 
@@ -1049,7 +1084,8 @@ mod tests {
         engine.check_invariants().unwrap();
         // A second, spread-out batch also stays consistent.
         let batch2: Vec<u32> = (0..m).step_by(3).collect();
-        engine.activate_batch(&batch2, 2.5);
+        let stats2 = engine.activate_batch(&batch2, 2.5);
+        assert_eq!(stats2.edges_in, batch2.len());
         engine.check_invariants().unwrap();
     }
 

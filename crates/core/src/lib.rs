@@ -34,6 +34,7 @@
 pub mod cluster;
 mod config;
 pub mod engine;
+pub mod invariant;
 pub mod metric;
 pub mod persist;
 pub mod pyramid;
@@ -46,6 +47,7 @@ pub mod vote;
 pub use cluster::ClusterMode;
 pub use config::{AncConfig, BatchMode};
 pub use engine::{AncEngine, BatchStats, OfflineSnapshot};
+pub use invariant::InvariantViolation;
 pub use persist::{EngineSnapshot, RestoreError};
 pub use pyramid::{Pyramids, RepairStats};
 pub use similarity::{NodeType, ScratchPool};

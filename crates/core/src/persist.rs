@@ -16,6 +16,7 @@ use anc_graph::Graph;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::AncEngine;
+use crate::invariant::InvariantViolation;
 use crate::pyramid::Pyramids;
 use crate::AncConfig;
 
@@ -58,6 +59,9 @@ pub enum RestoreError {
     UnsupportedVersion(u32),
     /// Structural inconsistency between parts of the snapshot.
     Inconsistent(String),
+    /// The snapshot state violates an engine invariant (see
+    /// [`crate::invariant`]).
+    Invariant(InvariantViolation),
     /// Serde/IO failure.
     Codec(String),
 }
@@ -67,6 +71,7 @@ impl std::fmt::Display for RestoreError {
         match self {
             RestoreError::UnsupportedVersion(v) => write!(f, "unsupported snapshot version {v}"),
             RestoreError::Inconsistent(msg) => write!(f, "inconsistent snapshot: {msg}"),
+            RestoreError::Invariant(v) => write!(f, "snapshot violates invariant: {v}"),
             RestoreError::Codec(msg) => write!(f, "codec error: {msg}"),
         }
     }
@@ -99,9 +104,9 @@ impl EngineSnapshot {
                 self.node_sum.len()
             )));
         }
-        if self.sim.iter().any(|s| !s.is_finite() || *s <= 0.0) {
-            return Err(RestoreError::Inconsistent("non-positive similarity".into()));
-        }
+        // Shared with the engine's own checker — one validator, two callers.
+        crate::invariant::check_similarities(&self.sim).map_err(RestoreError::Invariant)?;
+        crate::invariant::check_graph(&self.graph).map_err(RestoreError::Invariant)?;
         Ok(())
     }
 }

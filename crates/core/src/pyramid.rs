@@ -17,11 +17,13 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 
+use crate::invariant::InvariantViolation;
 use crate::voronoi::VoronoiPartition;
 
 /// Counters from one grouped batch repair
 /// ([`Pyramids::on_weight_change_batch`]), summed over all partitions.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[must_use = "RepairStats carries the repair's update/skip counters"]
 pub struct RepairStats {
     /// Bounded updates actually executed (Algorithms 1–3 invocations).
     pub updates: usize,
@@ -293,14 +295,53 @@ impl Pyramids {
         self.partitions.iter().map(|p| p.memory_bytes()).sum()
     }
 
-    /// Checks every partition's invariants against `weights`; returns the
-    /// first violation (testing aid).
-    pub fn check_invariants(&self, g: &Graph, weights: &[f64]) -> Result<(), String> {
+    /// Checks the index shape (`k · ⌈log₂ n⌉` partitions with the Example 3
+    /// seed counts, vote threshold in range) and every partition's
+    /// shortest-path-forest invariants against `weights`; returns the first
+    /// violation (testing aid).
+    pub fn check_invariants(&self, g: &Graph, weights: &[f64]) -> Result<(), InvariantViolation> {
+        if self.n != g.n() {
+            return Err(InvariantViolation::IndexShape(format!(
+                "index built for {} nodes, graph has {}",
+                self.n,
+                g.n()
+            )));
+        }
+        if self.levels != Self::levels_for(self.n) {
+            return Err(InvariantViolation::IndexShape(format!(
+                "{} levels, want ⌈log₂ {}⌉ = {}",
+                self.levels,
+                self.n,
+                Self::levels_for(self.n)
+            )));
+        }
+        if self.partitions.len() != self.k * self.levels {
+            return Err(InvariantViolation::IndexShape(format!(
+                "{} partitions for k = {} × levels = {}",
+                self.partitions.len(),
+                self.k,
+                self.levels
+            )));
+        }
+        if self.needed_votes < 1 || self.needed_votes > self.k {
+            return Err(InvariantViolation::IndexShape(format!(
+                "vote threshold {} outside 1..={}",
+                self.needed_votes, self.k
+            )));
+        }
         for p in 0..self.k {
             for l in 0..self.levels {
-                self.partition(p, l)
-                    .check_invariants(g, weights)
-                    .map_err(|e| format!("pyramid {p} level {l}: {e}"))?;
+                let part = self.partition(p, l);
+                let want_seeds = (1usize << l).min(self.n);
+                if part.seeds().len() != want_seeds {
+                    return Err(InvariantViolation::IndexShape(format!(
+                        "pyramid {p} level {l} has {} seeds, want {want_seeds}",
+                        part.seeds().len()
+                    )));
+                }
+                part.check_invariants(g, weights).map_err(|detail| {
+                    InvariantViolation::Partition { pyramid: p, level: l, detail }
+                })?;
             }
         }
         Ok(())

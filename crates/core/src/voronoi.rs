@@ -357,11 +357,32 @@ impl VoronoiPartition {
     ///    `dist(x) = dist(parent) + w(edge)` and inherits the parent's seed;
     /// 3. no edge admits a relaxation (certifying true shortest distances);
     /// 4. children lists are the exact inverse of parents;
-    /// 5. unreachable nodes have no seed and no parent.
+    /// 5. unreachable nodes have no seed and no parent;
+    /// 6. parent chains are acyclic — every chain reaches a parentless node
+    ///    (a seed or an unreachable node) in at most `n` steps.
     ///
     /// Returns a description of the first violation, if any.
     pub fn check_invariants(&self, g: &Graph, weights: &[f64]) -> Result<(), String> {
         let tol = 1e-6;
+        // 6 first (cheap, O(n) with memoization): a cyclic forest would make
+        // the per-node checks below misleading.
+        let n = g.n();
+        let mut terminates = vec![false; n];
+        let mut path = Vec::new();
+        for v in 0..n {
+            let mut x = v;
+            while !terminates[x] && self.parent[x] != NO_NODE {
+                path.push(x);
+                x = self.parent[x] as usize;
+                if path.len() > n {
+                    return Err(format!("parent chain from {v} does not terminate (cycle)"));
+                }
+            }
+            for y in path.drain(..) {
+                terminates[y] = true;
+            }
+            terminates[x] = true;
+        }
         for &s in &self.seeds {
             if self.dist[s as usize] != 0.0 {
                 return Err(format!("seed {s} has nonzero dist"));

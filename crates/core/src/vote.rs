@@ -141,9 +141,9 @@ pub struct ClusterMonitor {
 }
 
 impl ClusterMonitor {
-    /// Creates a monitor over `watched` nodes at granularity `level`.
-    pub fn new(g: &Graph, pyr: &Pyramids, watched: &[NodeId], level: usize) -> Self {
-        Self { cache: VoteCache::build(g, pyr), watched: watched.iter().copied().collect(), level }
+    /// Creates a monitor over `nodes` at granularity `level`.
+    pub fn new(g: &Graph, pyr: &Pyramids, nodes: &[NodeId], level: usize) -> Self {
+        Self { cache: VoteCache::build(g, pyr), watched: nodes.iter().copied().collect(), level }
     }
 
     /// Adds a node to the watch list.

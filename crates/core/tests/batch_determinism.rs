@@ -27,7 +27,8 @@ fn ingest_snapshot(threads: &str, batch: BatchMode) -> String {
     let m = engine.graph().m() as u32;
     for step in 0..6u32 {
         let edges: Vec<u32> = (0..40).map(|i| (i * 7 + step * 3) % m).collect();
-        engine.activate_batch(&edges, 1.0 + step as f64 * 0.4);
+        let stats = engine.activate_batch(&edges, 1.0 + step as f64 * 0.4);
+        assert_eq!(stats.edges_in, edges.len());
     }
     engine.check_invariants().unwrap();
     serde_json::to_string(&engine.to_snapshot()).unwrap()

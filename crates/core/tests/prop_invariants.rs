@@ -1,0 +1,188 @@
+//! Fuzz-style invariant testing (DESIGN.md §8): random activation streams —
+//! mixed single/batch/adaptive, small enough rescale intervals to cross
+//! several rescale boundaries — with [`AncEngine::check_invariants`]
+//! asserted after **every** step, plus negative tests that corrupted
+//! snapshots are rejected with the right [`InvariantViolation`] variant.
+
+use anc_core::{AncConfig, AncEngine, InvariantViolation, RestoreError};
+use anc_decay::RescaleConfig;
+use anc_graph::gen::{connected_caveman, erdos_renyi};
+use proptest::prelude::*;
+
+/// One fuzzed stream event: a single activation or a batch.
+#[derive(Clone, Debug)]
+enum Event {
+    Single(usize),
+    Batch(Vec<usize>),
+    Adaptive(Vec<usize>),
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    (0u8..3, 0usize..10_000, prop::collection::vec(0usize..10_000, 1..24)).prop_map(
+        |(kind, single, batch)| match kind {
+            0 => Event::Single(single),
+            1 => Event::Batch(batch),
+            _ => Event::Adaptive(batch),
+        },
+    )
+}
+
+fn stream_strategy() -> impl Strategy<Value = (u64, Vec<(Event, f64)>)> {
+    (0u64..32, prop::collection::vec((event_strategy(), 0.0f64..1.5), 1..16))
+}
+
+/// Rescale every 9 activations so a typical fuzz stream crosses several
+/// PosM/NegM rescale boundaries (Lemma 10's exercised path).
+fn fuzz_cfg() -> AncConfig {
+    AncConfig {
+        k: 2,
+        rep: 1,
+        mu: 2,
+        epsilon: 0.2,
+        rescale: RescaleConfig { every_activations: 9, exponent_guard: 200.0 },
+        ..Default::default()
+    }
+}
+
+fn apply(engine: &mut AncEngine, event: &Event, t: f64) {
+    let m = engine.graph().m();
+    match event {
+        Event::Single(sel) => engine.activate((sel % m) as u32, t),
+        Event::Batch(sels) => {
+            let edges: Vec<u32> = sels.iter().map(|s| (s % m) as u32).collect();
+            let stats = engine.activate_batch(&edges, t);
+            assert_eq!(stats.edges_in, edges.len());
+        }
+        Event::Adaptive(sels) => {
+            let edges: Vec<u32> = sels.iter().map(|s| (s % m) as u32).collect();
+            // A tiny threshold makes some adaptive calls take the rebuild
+            // path, the rest the grouped-repair path.
+            let stats = engine.activate_batch_adaptive(&edges, t, Some(12));
+            assert_eq!(stats.edges_in, edges.len());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every invariant holds after every step of a mixed stream.
+    #[test]
+    fn invariants_hold_after_every_step((seed, events) in stream_strategy()) {
+        let g = erdos_renyi(20, 45, seed);
+        if g.m() == 0 { return Ok(()); }
+        let mut engine = AncEngine::new(g, fuzz_cfg(), seed);
+        let mut t = 0.0;
+        for (event, dt) in &events {
+            t += dt;
+            apply(&mut engine, event, t);
+            if let Err(v) = engine.check_invariants() {
+                return Err(TestCaseError::fail(format!("after {event:?} at t={t}: {v}")));
+            }
+        }
+    }
+
+    /// Snapshot round-trips mid-stream preserve the invariants and the
+    /// state: decayed quantities byte-identical, index distances equal up
+    /// to rounding (the restore derives `1/S*` afresh, so repairs after it
+    /// can differ in the last ulps from the live engine's accumulated
+    /// rescale products).
+    #[test]
+    fn snapshot_roundtrip_mid_stream_keeps_invariants((seed, events) in stream_strategy()) {
+        let lg = connected_caveman(3, 5);
+        let mut engine = AncEngine::new(lg.graph, fuzz_cfg(), seed);
+        let mut t = 0.0;
+        let half = events.len() / 2;
+        for (event, dt) in &events[..half] {
+            t += dt;
+            apply(&mut engine, event, t);
+        }
+        let snap = serde_json::to_string(&engine.to_snapshot()).unwrap();
+        let mut restored = AncEngine::from_snapshot(
+            serde_json::from_str(&snap).unwrap()).unwrap();
+        prop_assert!(restored.check_invariants().is_ok());
+        for (event, dt) in &events[half..] {
+            t += dt;
+            apply(&mut engine, event, t);
+            apply(&mut restored, event, t);
+            prop_assert!(restored.check_invariants().is_ok());
+        }
+        let (a, b) = (engine.to_snapshot(), restored.to_snapshot());
+        prop_assert_eq!(a.activations, b.activations);
+        prop_assert_eq!(a.rescales, b.rescales);
+        for field in [
+            (serde_json::to_string(&a.activeness).unwrap(),
+             serde_json::to_string(&b.activeness).unwrap(), "activeness"),
+            (serde_json::to_string(&a.node_sum).unwrap(),
+             serde_json::to_string(&b.node_sum).unwrap(), "node_sum"),
+            (serde_json::to_string(&a.sim).unwrap(),
+             serde_json::to_string(&b.sim).unwrap(), "sim"),
+            (serde_json::to_string(&a.clock).unwrap(),
+             serde_json::to_string(&b.clock).unwrap(), "clock"),
+        ] {
+            prop_assert_eq!(field.0, field.1, "restored engine diverged in {}", field.2);
+        }
+        for p in 0..engine.pyramids().k() {
+            for l in 0..engine.num_levels() {
+                for v in 0..engine.graph().n() as u32 {
+                    let (da, db) = (
+                        engine.pyramids().partition(p, l).dist(v),
+                        restored.pyramids().partition(p, l).dist(v),
+                    );
+                    prop_assert!((da - db).abs() <= 1e-9 * (1.0 + db.abs()),
+                        "pyramid {} level {} node {}: {} vs {}", p, l, v, da, db);
+                }
+            }
+        }
+    }
+}
+
+// --- negative tests: corruption is caught with the right variant ---------
+
+fn snapshot_after_activity() -> anc_core::EngineSnapshot {
+    let lg = connected_caveman(3, 4);
+    let mut engine = AncEngine::new(lg.graph, fuzz_cfg(), 7);
+    let m = engine.graph().m() as u32;
+    for i in 0..20u32 {
+        engine.activate(i % m, 0.3 * f64::from(i));
+    }
+    engine.to_snapshot()
+}
+
+#[test]
+fn corrupted_similarity_is_rejected_as_similarity_violation() {
+    let mut snap = snapshot_after_activity();
+    snap.sim[0] = -1.0; // similarities must be strictly positive (Eq. 1)
+    let err = AncEngine::from_snapshot(snap).err().expect("corrupt snapshot accepted");
+    assert!(
+        matches!(err, RestoreError::Invariant(InvariantViolation::Similarity(_))),
+        "expected Similarity violation, got {err}"
+    );
+}
+
+#[test]
+fn non_finite_similarity_is_rejected() {
+    let mut snap = snapshot_after_activity();
+    snap.sim[1] = f64::NAN;
+    let err = AncEngine::from_snapshot(snap).err().expect("corrupt snapshot accepted");
+    assert!(
+        matches!(err, RestoreError::Invariant(InvariantViolation::Similarity(_))),
+        "expected Similarity violation, got {err}"
+    );
+}
+
+#[test]
+fn live_engine_detects_activeness_corruption() {
+    let lg = connected_caveman(3, 4);
+    let mut engine = AncEngine::new(lg.graph, fuzz_cfg(), 7);
+    engine.activate(0, 1.0);
+    assert!(engine.check_invariants().is_ok());
+    // Desynchronize the cached per-node sums from the edge activeness
+    // (test-only accessor): Def. 2's A(v) = Σ activeness must now fail.
+    engine.corrupt_node_sum_for_test(0, 1e-3);
+    let err = engine.check_invariants().unwrap_err();
+    assert!(
+        matches!(err, InvariantViolation::Activeness(_)),
+        "expected Activeness violation, got {err}"
+    );
+}

@@ -37,12 +37,10 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for a min-heap on distance; NaNs are never inserted.
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.node.cmp(&self.node))
+        // Reverse for a min-heap on distance. `total_cmp` gives a total
+        // order even for NaN/-0.0 (neither is ever inserted, but the
+        // ordering must not silently degrade if that changes).
+        other.dist.total_cmp(&self.dist).then_with(|| other.node.cmp(&self.node))
     }
 }
 

@@ -89,7 +89,10 @@ pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Graph {
         }
     }
     for v in k as NodeId..n as NodeId {
-        let mut targets = std::collections::HashSet::with_capacity(m_attach);
+        // BTreeSet: `targets` is iterated below, and hash-set order would
+        // leak SipHash's per-process randomness into the edge insertion
+        // order (and thus edge ids) across runs.
+        let mut targets = std::collections::BTreeSet::new();
         while targets.len() < m_attach {
             let t = stubs[rng.gen_range(0..stubs.len())];
             targets.insert(t);

@@ -22,7 +22,7 @@ fn main() {
     // toward community-internal ones.
     let s = stream::community_biased(&g, &ds.labels, 30, 0.05, 6.0, 77);
     for batch in &s.batches {
-        engine.activate_batch(&batch.edges, batch.time);
+        let _ = engine.activate_batch(&batch.edges, batch.time);
     }
     println!("streamed {} collaborations over 30 years", engine.activations());
 

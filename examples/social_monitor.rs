@@ -70,7 +70,7 @@ fn main() {
 
     // Phase 1 (t = 1..15): the user chats with the home community.
     for t in 1..=15 {
-        engine.activate_batch(&home_edges, t as f64);
+        let _ = engine.activate_batch(&home_edges, t as f64);
     }
     let (h1, o1) = (best_sim(&engine, home), best_sim(&engine, other));
     let c1 = engine.local_cluster(user, level);
@@ -86,7 +86,7 @@ fn main() {
     // Phase 2 (t = 16..45): activity moves to the second circle; the home
     // friendships silently decay.
     for t in 16..=45 {
-        engine.activate_batch(&other_edges, t as f64);
+        let _ = engine.activate_batch(&other_edges, t as f64);
     }
     let (h2, o2) = (best_sim(&engine, home), best_sim(&engine, other));
     let c2 = engine.local_cluster(user, level);

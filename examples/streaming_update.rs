@@ -25,7 +25,7 @@ fn main() {
     let mut latencies: Vec<f64> = Vec::with_capacity(1440);
     for batch in &day.batches {
         let start = Instant::now();
-        engine.activate_batch(&batch.edges, batch.time);
+        let _ = engine.activate_batch(&batch.edges, batch.time);
         latencies.push(start.elapsed().as_secs_f64());
     }
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());

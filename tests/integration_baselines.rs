@@ -88,7 +88,7 @@ fn online_baselines_process_identical_streams() {
         let edges: Vec<u32> = (0..10).map(|i| ((t * 31 + i * 7) as usize % g.m()) as u32).collect();
         dyna.step(t as f64, &edges);
         lwep.step(t as f64, &edges);
-        engine.activate_batch(&edges, t as f64);
+        let _ = engine.activate_batch(&edges, t as f64);
     }
     // All three remain functional and non-degenerate.
     assert!(dyna.clustering().num_clusters() >= 2);

@@ -35,7 +35,7 @@ fn online_stream_preserves_all_invariants_and_matches_rebuild() {
     let g = engine.graph().clone();
     let s = stream::uniform_per_step(&g, 25, 0.05, 5);
     for batch in &s.batches {
-        engine.activate_batch(&batch.edges, batch.time);
+        let _ = engine.activate_batch(&batch.edges, batch.time);
     }
     engine.check_invariants().unwrap();
 
@@ -70,7 +70,7 @@ fn local_queries_agree_with_global_clustering() {
     let g = engine.graph().clone();
     let s = stream::uniform_per_step(&g, 10, 0.05, 9);
     for batch in &s.batches {
-        engine.activate_batch(&batch.edges, batch.time);
+        let _ = engine.activate_batch(&batch.edges, batch.time);
     }
     for level in [engine.default_level(), engine.num_levels() - 1] {
         let global = engine.cluster_all(level, ClusterMode::Even);
@@ -94,7 +94,7 @@ fn zoom_out_coarsens_on_average() {
     let g = engine.graph().clone();
     let s = stream::uniform_per_step(&g, 5, 0.05, 2);
     for batch in &s.batches {
-        engine.activate_batch(&batch.edges, batch.time);
+        let _ = engine.activate_batch(&batch.edges, batch.time);
     }
     let finest = engine.num_levels() - 1;
     let mut mean_size = vec![0.0f64; engine.num_levels()];
@@ -135,7 +135,7 @@ fn offline_snapshot_agrees_with_long_lived_online_engine() {
         8,
     );
     for batch in &s.batches {
-        engine.activate_batch(&batch.edges, batch.time);
+        let _ = engine.activate_batch(&batch.edges, batch.time);
     }
     let level = engine.default_level();
     let online = engine.cluster_all(level, ClusterMode::Power).filter_small(3);

@@ -85,7 +85,7 @@ fn approx_distance_never_underestimates_exact() {
     let g = engine.graph().clone();
     let s = stream::uniform_per_step(&g, 5, 0.03, 17);
     for batch in &s.batches {
-        engine.activate_batch(&batch.edges, batch.time);
+        let _ = engine.activate_batch(&batch.edges, batch.time);
     }
     let mut finite_pairs = 0usize;
     let mut stretch_sum = 0.0f64;

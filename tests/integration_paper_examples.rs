@@ -84,7 +84,7 @@ fn case_study_drift_in_miniature() {
     let right: Vec<u32> =
         [(0, 3), (3, 4), (0, 4)].iter().map(|&(a, b)| g.edge_id(a, b).unwrap()).collect();
     for t in 1..=10 {
-        engine.activate_batch(&left, t as f64);
+        let _ = engine.activate_batch(&left, t as f64);
     }
     let sim_left_p1 = engine.similarity(left[0]);
     let sim_right_p1 = engine.similarity(right[0]);
@@ -92,7 +92,7 @@ fn case_study_drift_in_miniature() {
 
     // Phase 2: activity moves to the right triangle.
     for t in 11..=40 {
-        engine.activate_batch(&right, t as f64);
+        let _ = engine.activate_batch(&right, t as f64);
     }
     let sim_left_p2 = engine.similarity(left[0]);
     let sim_right_p2 = engine.similarity(right[0]);

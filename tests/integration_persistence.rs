@@ -19,14 +19,14 @@ fn crash_recovery_via_checkpoint_and_trace_replay() {
     // Reference: one engine processes everything.
     let mut reference = AncEngine::new(g.clone(), cfg.clone(), 5);
     for b in &full.batches {
-        reference.activate_batch(&b.edges, b.time);
+        let _ = reference.activate_batch(&b.edges, b.time);
     }
 
     // Crash-recovery path: process half, checkpoint, "crash", restore, and
     // replay the rest from the recorded trace.
     let mut first_half = AncEngine::new(g.clone(), cfg, 5);
     for b in &full.batches[..10] {
-        first_half.activate_batch(&b.edges, b.time);
+        let _ = first_half.activate_batch(&b.edges, b.time);
     }
     let mut checkpoint = Vec::new();
     first_half.save_json(&mut checkpoint).unwrap();
@@ -35,7 +35,7 @@ fn crash_recovery_via_checkpoint_and_trace_replay() {
     let mut restored = AncEngine::load_json(checkpoint.as_slice()).unwrap();
     let replay = read_trace(trace_bytes.as_slice(), Some(g.m())).unwrap();
     for b in &replay.batches[10..] {
-        restored.activate_batch(&b.edges, b.time);
+        let _ = restored.activate_batch(&b.edges, b.time);
     }
 
     // Same observable state as the engine that never crashed.
