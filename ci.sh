@@ -13,7 +13,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo run -p anc-audit --release (determinism lint pass)"
+echo "==> cargo run -p anc-audit --release (determinism + hot-path lint pass)"
+# JSON report lands in results/audit.json; a nonzero exit (deny-tier finding
+# or an A5/A7 ratchet regression) fails CI, echoing the report first.
+mkdir -p results
+cargo run -p anc-audit --release -- --format json > results/audit.json || {
+    echo "audit failed; report follows:"
+    cat results/audit.json
+    exit 1
+}
 cargo run -p anc-audit --release
 
 echo "==> cargo test --workspace -q"

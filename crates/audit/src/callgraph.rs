@@ -1,0 +1,649 @@
+//! Workspace call graph over the lexed token streams (stage 2 of the audit).
+//!
+//! The line rules A1–A5 are local: they can say "this line calls
+//! `.unwrap()`" but not "this `unwrap` runs on every activation". This
+//! module extracts every `fn` item in the hot-path crates
+//! ([`CALL_GRAPH_CRATES`]) together with its call sites and panic/allocation
+//! markers, resolves calls to workspace functions with a deliberately
+//! *over-approximating* heuristic (reachability may include functions that a
+//! precise analysis would exclude — never the reverse, within the heuristic's
+//! known blind spots; see DESIGN.md §8), and walks reachability from the hot
+//! entry points to drive:
+//!
+//! * **A6 `panic-path`** — `panic!` / `unreachable!` / `todo!` /
+//!   `unimplemented!` / `.unwrap()` / `.expect(` in any function reachable
+//!   from a [`PANIC_ROOTS`] entry (deny-tier).
+//! * **A7 `hot-alloc`** — `Vec::new` / `vec![` / `.collect()` / `.to_vec()`
+//!   / `Box::new` / `format!` in any function reachable from a per-activation
+//!   [`ALLOC_ROOTS`] entry (warn-tier, ratcheted per file against
+//!   `baseline_a7.txt`; the fix is usually the `ScratchPool`).
+//!
+//! Resolution heuristic, in order:
+//!
+//! 1. `Type::name(` with a known `impl Type` in the workspace → exactly that
+//!    function.
+//! 2. `Type::name(` with an *unknown* capitalized type (e.g. `Vec::new`) →
+//!    external; no edge. This is what keeps `Vec::new` from wiring the graph
+//!    to every workspace `new`.
+//! 3. `seg::name(` with a lowercase first segment (module path, e.g.
+//!    `query::local_cluster`) → every workspace fn named `name`.
+//! 4. `.name(` method calls and bare `name(` calls → every workspace fn
+//!    named `name` (receiver types are not inferred).
+//!
+//! Known over-approximations (accepted — they only make the lint stricter):
+//! `std::mem::take` resolves to any workspace fn named `take`; a method call
+//! `.get(` would resolve to every workspace `get`. Known blind spots:
+//! function pointers/closures passed as values, macro-generated calls, and
+//! trait-object dispatch to impls outside [`CALL_GRAPH_CRATES`].
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{suppressed_rules, LexedFile, Token, TokenKind};
+
+/// Crates included in the call graph (the per-activation hot path lives
+/// here; `bench`/`cli`/`data` are driver code and may allocate freely).
+pub const CALL_GRAPH_CRATES: &[&str] = &["core", "decay", "graph"];
+
+/// Hot entry points for A6 `panic-path`: everything on the activation and
+/// query fast path must be panic-free.
+pub const PANIC_ROOTS: &[&str] = &[
+    "AncEngine::activate",
+    "AncEngine::activate_traced",
+    "AncEngine::activate_batch",
+    "AncEngine::activate_batch_adaptive",
+    "AncEngine::sigma",
+    "AncEngine::approx_distance",
+    "AncEngine::local_cluster",
+    "AncEngine::local_cluster_power",
+    "AncEngine::smallest_cluster",
+    "Pyramids::on_weight_change",
+    "Pyramids::on_weight_change_batch",
+    "Pyramids::on_weight_change_serial",
+];
+
+/// Per-activation entry points for A7 `hot-alloc`: these run once per stream
+/// event, so allocations here bound throughput. The pure query APIs
+/// (`local_cluster` etc.) are *not* alloc roots — they return owned results
+/// by design and run at query rate, not stream rate.
+pub const ALLOC_ROOTS: &[&str] = &[
+    "AncEngine::activate",
+    "AncEngine::activate_traced",
+    "AncEngine::activate_batch",
+    "AncEngine::activate_batch_adaptive",
+    "Pyramids::on_weight_change",
+    "Pyramids::on_weight_change_batch",
+    "Pyramids::on_weight_change_serial",
+];
+
+/// A panic or allocation marker inside one function body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Site {
+    /// 1-based line of the marker.
+    pub line: usize,
+    /// What was matched, e.g. `".unwrap()"` or `"Vec::new"`.
+    pub what: &'static str,
+}
+
+/// How a call site names its callee.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Callee {
+    /// `.name(` — method call, receiver type unknown.
+    Method(String),
+    /// `Seg::name(` — path call; `Seg` is the segment before the final `::`.
+    Path(String, String),
+    /// `name(` — bare call.
+    Free(String),
+}
+
+/// One call site inside a function body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallSite {
+    /// Who is called.
+    pub callee: Callee,
+    /// 1-based line of the call.
+    pub line: usize,
+}
+
+/// One `fn` item extracted from a lexed file.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Crate the function lives in.
+    pub crate_name: String,
+    /// Repo-relative file path.
+    pub file: String,
+    /// `Type::name` for methods in an `impl` block, else just `name`.
+    pub qual: String,
+    /// Simple function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Call sites in the body (non-test lines only).
+    pub calls: Vec<CallSite>,
+    /// Unsuppressed panic markers in the body.
+    pub panic_sites: Vec<Site>,
+    /// Unsuppressed allocation markers in the body.
+    pub alloc_sites: Vec<Site>,
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "match", "for", "in", "loop", "return", "break", "continue", "let",
+    "move", "as", "ref", "box", "dyn", "where", "use", "pub", "mod", "struct", "enum", "trait",
+    "type", "const", "static", "fn", "impl", "unsafe", "extern", "crate", "super", "self", "Self",
+    "async", "await", "true", "false",
+];
+
+/// Extracts every non-test `fn` item (with call sites and markers) from one
+/// lexed file. `raw_lines` is the unlexed source, used to honor
+/// `audit:allow(panic-path)` / `audit:allow(hot-alloc)` on or above a
+/// marker's line.
+pub fn extract_fns(
+    crate_name: &str,
+    file: &str,
+    lexed: &LexedFile,
+    raw_lines: &[&str],
+) -> Vec<FnItem> {
+    let toks = &lexed.tokens;
+    let close_of = brace_partners(toks);
+
+    // impl ranges: (body_open, body_close, type name).
+    let mut impls: Vec<(usize, usize, String)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("impl") {
+            continue;
+        }
+        if let Some((open, ty)) = impl_header(toks, i) {
+            if let Some(&close) = close_of.get(&open) {
+                impls.push((open, close, ty));
+            }
+        }
+    }
+
+    // fn items: header parse, body range, impl-type qualification.
+    let mut items: Vec<FnItem> = Vec::new();
+    let mut ranges: Vec<(usize, usize)> = Vec::new(); // body (open, close)
+                                                      // Test fns never run in production; feature-gated fns (and gated call
+                                                      // statements) are compiled out of the default-feature build the audit
+                                                      // targets.
+    let excluded = |line: usize| {
+        lexed.is_test_line(line.saturating_sub(1)) || lexed.is_gated_line(line.saturating_sub(1))
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("fn") || excluded(t.line) {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else { continue };
+        if name_tok.kind != TokenKind::Ident {
+            continue; // `fn(` — function pointer type
+        }
+        let Some(open) = fn_body_open(toks, i + 2) else { continue }; // no body: trait sig
+        let Some(&close) = close_of.get(&open) else { continue };
+        // Innermost enclosing impl wins (nested impls do not occur, but
+        // smallest-range is the right tie-break anyway).
+        let ty = impls
+            .iter()
+            .filter(|(o, c, _)| *o < i && i < *c)
+            .min_by_key(|(o, c, _)| c - o)
+            .map(|(_, _, ty)| ty.clone());
+        let name = name_tok.text.clone();
+        let qual = match ty {
+            Some(ty) => format!("{ty}::{name}"),
+            None => name.clone(),
+        };
+        items.push(FnItem {
+            crate_name: crate_name.to_string(),
+            file: file.to_string(),
+            qual,
+            name,
+            line: t.line,
+            calls: Vec::new(),
+            panic_sites: Vec::new(),
+            alloc_sites: Vec::new(),
+        });
+        ranges.push((open, close));
+    }
+
+    // Innermost-fn ownership per token: outer ranges first, inner overwrite.
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by_key(|&k| std::cmp::Reverse(ranges[k].1 - ranges[k].0));
+    let mut owner: Vec<Option<usize>> = vec![None; toks.len()];
+    for &k in &order {
+        let (open, close) = ranges[k];
+        for slot in owner[open..=close].iter_mut() {
+            *slot = Some(k);
+        }
+    }
+
+    let allowed = |rule: &str, line: usize| -> bool {
+        let idx = line.saturating_sub(1);
+        let on = |i: usize| {
+            raw_lines.get(i).is_some_and(|l| suppressed_rules(l).iter().any(|r| r == rule))
+        };
+        on(idx) || (idx > 0 && on(idx - 1))
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        let Some(k) = owner[i] else { continue };
+        if excluded(t.line) {
+            continue;
+        }
+        let item = &mut items[k];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let next_bang = toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| n.is_punct("(") || n.is_punct("[") || n.is_punct("{"));
+        if next_bang {
+            let what: Option<(&'static str, bool)> = match t.text.as_str() {
+                "panic" => Some(("panic!", true)),
+                "unreachable" => Some(("unreachable!", true)),
+                "todo" => Some(("todo!", true)),
+                "unimplemented" => Some(("unimplemented!", true)),
+                "vec" => Some(("vec![", false)),
+                "format" => Some(("format!", false)),
+                _ => None,
+            };
+            if let Some((what, is_panic)) = what {
+                let rule = if is_panic { "panic-path" } else { "hot-alloc" };
+                if !allowed(rule, t.line) {
+                    let site = Site { line: t.line, what };
+                    if is_panic {
+                        item.panic_sites.push(site);
+                    } else {
+                        item.alloc_sites.push(site);
+                    }
+                }
+            }
+            continue;
+        }
+        if !call_follows(toks, i + 1) {
+            continue;
+        }
+        let prev = if i > 0 { Some(&toks[i - 1]) } else { None };
+        if prev.is_some_and(|p| p.is_ident("fn")) {
+            continue; // the definition itself
+        }
+        if prev.is_some_and(|p| p.is_punct(".")) {
+            // Method call: marker check first, then an edge (harmless for
+            // std methods — no workspace fn shares those names).
+            let marker: Option<(&'static str, bool)> = match t.text.as_str() {
+                "unwrap" => Some((".unwrap()", true)),
+                "expect" => Some((".expect(", true)),
+                "collect" => Some((".collect()", false)),
+                "to_vec" => Some((".to_vec()", false)),
+                _ => None,
+            };
+            if let Some((what, is_panic)) = marker {
+                let rule = if is_panic { "panic-path" } else { "hot-alloc" };
+                if !allowed(rule, t.line) {
+                    let site = Site { line: t.line, what };
+                    if is_panic {
+                        item.panic_sites.push(site);
+                    } else {
+                        item.alloc_sites.push(site);
+                    }
+                }
+            }
+            item.calls.push(CallSite { callee: Callee::Method(t.text.clone()), line: t.line });
+        } else if prev.is_some_and(|p| p.is_punct("::")) {
+            let seg = if i >= 2 && toks[i - 2].kind == TokenKind::Ident {
+                toks[i - 2].text.clone()
+            } else {
+                // `<T as Trait>::name(` and friends: unknown qualifier;
+                // resolve by simple name (over-approximate).
+                String::new()
+            };
+            if (seg == "Vec" || seg == "Box") && t.text == "new" && !allowed("hot-alloc", t.line) {
+                let what = if seg == "Vec" { "Vec::new" } else { "Box::new" };
+                item.alloc_sites.push(Site { line: t.line, what });
+            }
+            item.calls.push(CallSite { callee: Callee::Path(seg, t.text.clone()), line: t.line });
+        } else if !KEYWORDS.contains(&t.text.as_str()) {
+            item.calls.push(CallSite { callee: Callee::Free(t.text.clone()), line: t.line });
+        }
+    }
+    items
+}
+
+/// Maps each `{` token index to its matching `}` index.
+fn brace_partners(toks: &[Token]) -> BTreeMap<usize, usize> {
+    let mut map = BTreeMap::new();
+    let mut stack = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct("{") {
+            stack.push(i);
+        } else if t.is_punct("}") {
+            if let Some(open) = stack.pop() {
+                map.insert(open, i);
+            }
+        }
+    }
+    map
+}
+
+/// Parses an `impl` header starting at token `at` (`impl`): returns the body
+/// `{` index and the implemented type's simple name (the type after `for`
+/// in trait impls).
+fn impl_header(toks: &[Token], at: usize) -> Option<(usize, String)> {
+    let mut i = at + 1;
+    // Skip `<generics>`.
+    if toks.get(i).is_some_and(|t| t.is_punct("<")) {
+        let mut depth = 0i32;
+        while let Some(t) = toks.get(i) {
+            if t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct(">") {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    let mut ty: Option<String> = None;
+    let mut in_where = false;
+    while let Some(t) = toks.get(i) {
+        if t.is_punct("{") {
+            return Some((i, ty?));
+        }
+        if t.is_ident("where") {
+            // Bounds in the where clause must not overwrite the type.
+            in_where = true;
+        } else if t.is_ident("for") {
+            // Trait impl: the implemented type follows; drop the trait name.
+            ty = None;
+        } else if !in_where && t.kind == TokenKind::Ident && !KEYWORDS.contains(&t.text.as_str()) {
+            // Last path segment before generics/`{` wins (`fmt::Display` →
+            // `Display`; then `for Finding` → `Finding`).
+            ty = Some(t.text.clone());
+        } else if t.is_punct("<") {
+            // Skip the type's own generic args.
+            let mut depth = 0i32;
+            while let Some(t2) = toks.get(i) {
+                if t2.is_punct("<") {
+                    depth += 1;
+                } else if t2.is_punct(">") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Finds the body `{` of a `fn` whose parameter list starts at or after
+/// `from`, skipping the parameter parens and any return type / where clause.
+/// Returns `None` for braceless signatures (`fn f();` in traits).
+fn fn_body_open(toks: &[Token], from: usize) -> Option<usize> {
+    let mut i = from;
+    let mut paren = 0i32;
+    let mut angle = 0i32;
+    while let Some(t) = toks.get(i) {
+        if t.is_punct("(") {
+            paren += 1;
+        } else if t.is_punct(")") {
+            paren -= 1;
+        } else if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") {
+            angle = (angle - 1).max(0); // `->` lexes as `-`, `>`
+        } else if paren == 0 && t.is_punct(";") {
+            return None;
+        } else if paren == 0 && angle == 0 && t.is_punct("{") {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Whether the token at `i` begins an argument list: `(` directly, or a
+/// turbofish `::<…>(`.
+fn call_follows(toks: &[Token], i: usize) -> bool {
+    match toks.get(i) {
+        Some(t) if t.is_punct("(") => true,
+        Some(t) if t.is_punct("::") && toks.get(i + 1).is_some_and(|n| n.is_punct("<")) => {
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            while let Some(t2) = toks.get(j) {
+                if t2.is_punct("<") {
+                    depth += 1;
+                } else if t2.is_punct(">") {
+                    depth -= 1;
+                    if depth == 0 {
+                        return toks.get(j + 1).is_some_and(|n| n.is_punct("("));
+                    }
+                }
+                j += 1;
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+/// The assembled workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All extracted functions, in deterministic (crate, file, position)
+    /// order.
+    pub fns: Vec<FnItem>,
+    by_name: BTreeMap<String, Vec<usize>>,
+    by_qual: BTreeMap<String, Vec<usize>>,
+}
+
+/// Reachability result: for each fn, whether it is reachable and through
+/// which caller (BFS parent), for call-chain reporting.
+#[derive(Debug)]
+pub struct Reachability {
+    reached: Vec<bool>,
+    parent: Vec<Option<usize>>,
+    root_of: Vec<Option<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph from extracted items (order is preserved and must be
+    /// deterministic — the scanner feeds files in sorted order).
+    pub fn build(fns: Vec<FnItem>) -> Self {
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut by_qual: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(i);
+            by_qual.entry(f.qual.clone()).or_default().push(i);
+        }
+        Self { fns, by_name, by_qual }
+    }
+
+    /// Resolves one call site to workspace fn indices (possibly empty).
+    fn resolve(&self, callee: &Callee) -> &[usize] {
+        static EMPTY: [usize; 0] = [];
+        match callee {
+            Callee::Method(n) | Callee::Free(n) => {
+                self.by_name.get(n).map_or(&EMPTY[..], |v| &v[..])
+            }
+            Callee::Path(seg, n) => {
+                let qual = format!("{seg}::{n}");
+                if let Some(v) = self.by_qual.get(&qual) {
+                    return &v[..];
+                }
+                let unknown_type = seg.chars().next().is_some_and(|c| c.is_uppercase());
+                if unknown_type {
+                    // `Vec::new`, `ChaCha8Rng::seed_from_u64`, … — external.
+                    &EMPTY[..]
+                } else {
+                    // Module path (`query::local_cluster`) or unknown
+                    // qualifier — match by simple name.
+                    self.by_name.get(n).map_or(&EMPTY[..], |v| &v[..])
+                }
+            }
+        }
+    }
+
+    /// BFS from every fn whose `qual` is in `roots`, in root order.
+    pub fn reachable_from(&self, roots: &[&str]) -> Reachability {
+        let n = self.fns.len();
+        let mut r =
+            Reachability { reached: vec![false; n], parent: vec![None; n], root_of: vec![None; n] };
+        let mut queue = std::collections::VecDeque::new();
+        for root in roots {
+            if let Some(starts) = self.by_qual.get(*root) {
+                for &s in starts {
+                    if !r.reached[s] {
+                        r.reached[s] = true;
+                        r.root_of[s] = Some(s);
+                        queue.push_back(s);
+                    }
+                }
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for call in &self.fns[u].calls {
+                for &v in self.resolve(&call.callee) {
+                    if !r.reached[v] {
+                        r.reached[v] = true;
+                        r.parent[v] = Some(u);
+                        r.root_of[v] = r.root_of[u];
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        r
+    }
+}
+
+impl Reachability {
+    /// Whether fn `i` is reachable from any root.
+    pub fn is_reached(&self, i: usize) -> bool {
+        self.reached[i]
+    }
+
+    /// The call chain `root → … → fns[i]` as quals (length-capped).
+    pub fn chain(&self, graph: &CallGraph, i: usize) -> String {
+        let mut quals = vec![graph.fns[i].qual.clone()];
+        let mut cur = i;
+        while let Some(p) = self.parent[cur] {
+            quals.push(graph.fns[p].qual.clone());
+            cur = p;
+            if quals.len() > 8 {
+                quals.push("…".into());
+                break;
+            }
+        }
+        quals.reverse();
+        quals.join(" → ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn items(src: &str) -> Vec<FnItem> {
+        let lexed = lex(src);
+        let raw: Vec<&str> = src.lines().collect();
+        extract_fns("core", "crates/core/src/x.rs", &lexed, &raw)
+    }
+
+    #[test]
+    fn extracts_impl_qualified_fns() {
+        let src = "struct Engine;\n\
+                   impl Engine {\n\
+                       pub fn activate(&mut self) { self.step(); }\n\
+                       fn step(&mut self) {}\n\
+                   }\n\
+                   fn free_helper() {}\n";
+        let fns = items(src);
+        let quals: Vec<&str> = fns.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(quals, vec!["Engine::activate", "Engine::step", "free_helper"]);
+        assert_eq!(fns[0].calls, vec![CallSite { callee: Callee::Method("step".into()), line: 3 }]);
+    }
+
+    #[test]
+    fn trait_impls_qualify_by_the_implementing_type() {
+        let src = "impl fmt::Display for Finding {\n\
+                       fn fmt(&self) { helper(); }\n\
+                   }\n\
+                   impl<'a> Ctx<'a> {\n\
+                       fn sigma(&self) {}\n\
+                   }\n";
+        let fns = items(src);
+        let quals: Vec<&str> = fns.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(quals, vec!["Finding::fmt", "Ctx::sigma"]);
+    }
+
+    #[test]
+    fn markers_are_collected_and_suppressible() {
+        let src = "fn hot() {\n\
+                       let v: Vec<u32> = Vec::new();\n\
+                       let w = v.to_vec();\n\
+                       w.first().unwrap();\n\
+                       // audit:allow(panic-path) -- proven nonempty\n\
+                       w.last().unwrap();\n\
+                   }\n";
+        let fns = items(src);
+        assert_eq!(fns[0].panic_sites, vec![Site { line: 4, what: ".unwrap()" }]);
+        assert_eq!(
+            fns[0].alloc_sites,
+            vec![Site { line: 2, what: "Vec::new" }, Site { line: 3, what: ".to_vec()" }]
+        );
+    }
+
+    #[test]
+    fn reachability_stops_at_unknown_external_types() {
+        let src = "struct Engine;\n\
+                   impl Engine {\n\
+                       pub fn activate(&mut self) { helper(); }\n\
+                   }\n\
+                   fn helper() { let _v: Vec<u32> = Vec::new(); }\n\
+                   fn unrelated() { panic!(\"never on the hot path\"); }\n";
+        let g = CallGraph::build(items(src));
+        let r = g.reachable_from(&["Engine::activate"]);
+        let reached: Vec<&str> = g
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| r.is_reached(*i))
+            .map(|(_, f)| f.qual.as_str())
+            .collect();
+        // `Vec::new` must not create an edge to `unrelated` (or anything).
+        assert_eq!(reached, vec!["Engine::activate", "helper"]);
+        let hi = g.fns.iter().position(|f| f.qual == "helper").unwrap();
+        assert_eq!(r.chain(&g, hi), "Engine::activate → helper");
+    }
+
+    #[test]
+    fn turbofish_and_module_path_calls_resolve() {
+        let src = "fn a() { helper::<u32>(); }\n\
+                   fn helper() {}\n\
+                   fn b() { sub::helper(); }\n";
+        let g = CallGraph::build(items(src));
+        let ra = g.reachable_from(&["a"]);
+        let rb = g.reachable_from(&["b"]);
+        let hi = g.fns.iter().position(|f| f.qual == "helper").unwrap();
+        assert!(ra.is_reached(hi), "turbofish call must resolve");
+        assert!(rb.is_reached(hi), "lowercase module path must fall back to name match");
+    }
+
+    #[test]
+    fn test_module_fns_are_excluded() {
+        let src = "fn live() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { live(); }\n\
+                   }\n";
+        let fns = items(src);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].qual, "live");
+    }
+}

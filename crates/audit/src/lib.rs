@@ -1,15 +1,18 @@
 //! # anc-audit
 //!
-//! Repo-specific determinism lint pass (see DESIGN.md §8).
+//! Repo-specific determinism and hot-path lint pass (see DESIGN.md §8).
 //!
 //! The engine's central guarantee — snapshots byte-identical across thread
 //! counts and replay schedules — rests on properties the compiler cannot
 //! check: no iteration over randomly-seeded hash collections in
 //! state-mutating code, total float orderings, no wall-clock or OS-RNG
-//! inputs, no `unsafe`. This crate enforces them with a hand-rolled
-//! line/token scanner (the workspace is offline; no external parser crates).
+//! inputs, no `unsafe`. On top of that, the paper's bounded-maintenance
+//! claim only pays off if the per-activation path is panic-free and
+//! allocation-free. This crate enforces both with a two-stage analysis
+//! built on a hand-rolled Rust lexer ([`lexer`]) and a workspace call graph
+//! ([`callgraph`]) — the workspace is offline; no external parser crates.
 //!
-//! Rules:
+//! Line rules (stage 1, on the lexed code lines):
 //!
 //! * `hash-iter` (A1) — no `HashMap`/`HashSet` iteration (`for`/`.iter()`/
 //!   `.keys()`/`.values()`/`.drain()`) in the determinism-sensitive crates
@@ -25,12 +28,24 @@
 //!   is a warn-tier budget ratcheted against a checked-in baseline
 //!   (`crates/audit/baseline_a5.txt`): per-file counts may only decrease.
 //!
+//! Reachability rules (stage 2, on the call graph):
+//!
+//! * `panic-path` (A6) — `panic!`/`unreachable!`/`todo!`/`unimplemented!`/
+//!   `.unwrap()`/`.expect(` in any function reachable from a hot entry
+//!   point ([`callgraph::PANIC_ROOTS`]). Deny-tier; suppress with
+//!   `audit:allow(panic-path)` plus a reason.
+//! * `hot-alloc` (A7) — `Vec::new`/`vec![`/`.collect()`/`.to_vec()`/
+//!   `Box::new`/`format!` in any function reachable from a per-activation
+//!   entry point ([`callgraph::ALLOC_ROOTS`]). Warn-tier, per-file ratchet
+//!   against `crates/audit/baseline_a7.txt`; the fix is usually reuse via
+//!   the `ScratchPool`.
+//!
 //! A finding on a line is suppressed by `// audit:allow(<rule>) -- <reason>`
-//! on the same line or the line directly above. String literals are blanked
-//! and comments stripped before token matching, so rule-pattern strings (in
-//! this crate, say) are never false positives; everything from the first
-//! `#[cfg(test)]` to the end of a file is ignored (the repo keeps test
-//! modules at the bottom).
+//! on the same line or the line directly above. The lexer blanks string
+//! literals and strips comments, so rule-pattern strings (in this crate,
+//! say) are never false positives, and `#[cfg(test)]` exemption covers
+//! exactly the attributed item's brace-tracked span — code *after* a test
+//! module is scanned again (the PR 2 scanner exempted everything to EOF).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,9 +54,11 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-pub mod scrub;
+pub mod callgraph;
+pub mod lexer;
 
-use scrub::{scrub_source, suppressed_rules};
+use callgraph::{extract_fns, CallGraph, FnItem, ALLOC_ROOTS, CALL_GRAPH_CRATES, PANIC_ROOTS};
+use lexer::{lex, suppressed_rules};
 
 /// Crates whose state mutation must be deterministic: `hash-iter` applies.
 pub const ORDER_SENSITIVE_CRATES: &[&str] = &["core", "decay", "graph"];
@@ -52,14 +69,17 @@ pub const WALL_CLOCK_EXEMPT_CRATES: &[&str] = &["bench", "cli"];
 /// The crate whose non-test `unwrap()`/`expect()` count is budgeted.
 pub const UNWRAP_BUDGET_CRATE: &str = "core";
 
-/// Repo-relative path of the A5 baseline file.
+/// Repo-relative path of the A5 (unwrap-budget) baseline file.
 pub const BASELINE_PATH: &str = "crates/audit/baseline_a5.txt";
+
+/// Repo-relative path of the A7 (hot-alloc) baseline file.
+pub const BASELINE_A7_PATH: &str = "crates/audit/baseline_a7.txt";
 
 /// One lint finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
     /// Rule id (`hash-iter`, `float-cmp`, `wall-clock`, `forbid-unsafe`,
-    /// `unwrap-budget`).
+    /// `unwrap-budget`, `panic-path`, `hot-alloc`).
     pub rule: &'static str,
     /// Repo-relative file path.
     pub file: String,
@@ -75,7 +95,8 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Result of scanning one source file.
+/// Result of scanning one source file (line rules only; reachability rules
+/// need the whole tree).
 #[derive(Clone, Debug, Default)]
 pub struct FileReport {
     /// Error-tier findings (any one fails the audit).
@@ -85,16 +106,27 @@ pub struct FileReport {
     pub unwrap_count: usize,
 }
 
-/// Scans one file's source text under the rules that apply to `crate_name`.
+/// Scans one file's source text under the line rules that apply to
+/// `crate_name`.
 ///
 /// `rel_path` is the repo-relative path used in findings (and to decide
 /// whether the file is a crate root for A4).
 pub fn scan_source(crate_name: &str, rel_path: &str, source: &str) -> FileReport {
-    let mut report = FileReport::default();
+    let lexed = lex(source);
     let raw_lines: Vec<&str> = source.lines().collect();
-    let code_lines = scrub_source(source);
+    scan_lexed(crate_name, rel_path, &lexed, &raw_lines)
+}
 
-    // A4 first: crate roots must forbid unsafe. Checked against the scrubbed
+fn scan_lexed(
+    crate_name: &str,
+    rel_path: &str,
+    lexed: &lexer::LexedFile,
+    raw_lines: &[&str],
+) -> FileReport {
+    let mut report = FileReport::default();
+    let code_lines = &lexed.code_lines;
+
+    // A4 first: crate roots must forbid unsafe. Checked against the lexed
     // text so a commented-out attribute does not count.
     let is_crate_root = rel_path.ends_with("src/lib.rs") || rel_path.ends_with("src/main.rs");
     if is_crate_root && !code_lines.iter().any(|l| l.contains("#![forbid(unsafe_code)]")) {
@@ -118,14 +150,18 @@ pub fn scan_source(crate_name: &str, rel_path: &str, source: &str) -> FileReport
 
     let allowed = |rule: &str, idx: usize| -> bool {
         // A suppression comment covers its own line and the next.
-        suppressed_rules(raw_lines[idx]).iter().any(|r| r == rule)
-            || (idx > 0 && suppressed_rules(raw_lines[idx - 1]).iter().any(|r| r == rule))
+        let on = |i: usize| {
+            raw_lines.get(i).is_some_and(|l| suppressed_rules(l).iter().any(|r| r == rule))
+        };
+        on(idx) || (idx > 0 && on(idx - 1))
     };
 
     for (idx, code) in code_lines.iter().enumerate() {
-        // Everything from the first `#[cfg(test)]` down is test code.
-        if code.contains("#[cfg(test)]") {
-            break;
+        // Per-line exemption from the lexer's brace-tracked #[cfg(test)]
+        // spans: only the attributed item's body is skipped, not the file
+        // tail.
+        if lexed.is_test_line(idx) {
+            continue;
         }
         let lineno = idx + 1;
 
@@ -190,7 +226,7 @@ pub fn scan_source(crate_name: &str, rel_path: &str, source: &str) -> FileReport
     report
 }
 
-/// Idents newly bound to a `HashMap`/`HashSet` on this (scrubbed) line:
+/// Idents newly bound to a `HashMap`/`HashSet` on this (lexed) line:
 /// `let [mut] NAME = ...Hash{Map,Set}...` bindings plus `NAME: ...Hash…`
 /// typed declarations (struct fields, fn params, typed lets).
 fn hash_bindings(code: &str) -> Vec<String> {
@@ -375,19 +411,28 @@ fn contains_token(code: &str, token: &str) -> bool {
 /// Aggregate result of auditing a source tree.
 #[derive(Clone, Debug, Default)]
 pub struct AuditReport {
-    /// All error-tier findings, in deterministic (path, line) order.
+    /// All deny-tier findings (A1–A4, A6), in deterministic (path, line,
+    /// rule) order.
     pub findings: Vec<Finding>,
     /// Per-file `unwrap()`/`expect()` counts for the budgeted crate
-    /// (repo-relative path → count; files with count 0 omitted).
+    /// (repo-relative path → count; files with count 0 omitted; A5).
     pub unwrap_counts: BTreeMap<String, usize>,
+    /// Per-file counts of allocation sites reachable from a per-activation
+    /// root (A7; ratcheted, not deny-tier).
+    pub alloc_counts: BTreeMap<String, usize>,
+    /// The individual A7 allocation sites behind `alloc_counts`, with call
+    /// chains (warn-tier detail for reports; not in `findings`).
+    pub alloc_sites: Vec<Finding>,
 }
 
-/// Scans every `crates/*/src/**/*.rs` under `root`.
+/// Scans every `crates/*/src/**/*.rs` under `root`: line rules per file,
+/// then the workspace call graph for the reachability rules A6/A7.
 ///
 /// Directory entries are sorted so the report order is stable across
 /// filesystems.
 pub fn scan_tree(root: &Path) -> std::io::Result<AuditReport> {
     let mut report = AuditReport::default();
+    let mut graph_fns: Vec<FnItem> = Vec::new();
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
         .filter_map(|e| e.ok())
@@ -408,13 +453,59 @@ pub fn scan_tree(root: &Path) -> std::io::Result<AuditReport> {
         for file in files {
             let source = std::fs::read_to_string(&file)?;
             let rel = file.strip_prefix(root).unwrap_or(&file).display().to_string();
-            let fr = scan_source(&crate_name, &rel, &source);
+            let lexed = lex(&source);
+            let raw_lines: Vec<&str> = source.lines().collect();
+            let fr = scan_lexed(&crate_name, &rel, &lexed, &raw_lines);
             report.findings.extend(fr.findings);
             if fr.unwrap_count > 0 {
-                report.unwrap_counts.insert(rel, fr.unwrap_count);
+                report.unwrap_counts.insert(rel.clone(), fr.unwrap_count);
+            }
+            if CALL_GRAPH_CRATES.contains(&crate_name.as_str()) {
+                graph_fns.extend(extract_fns(&crate_name, &rel, &lexed, &raw_lines));
             }
         }
     }
+
+    // Stage 2: reachability rules over the workspace call graph.
+    let graph = CallGraph::build(graph_fns);
+    let panic_reach = graph.reachable_from(PANIC_ROOTS);
+    let alloc_reach = graph.reachable_from(ALLOC_ROOTS);
+    for (i, f) in graph.fns.iter().enumerate() {
+        if panic_reach.is_reached(i) {
+            for site in &f.panic_sites {
+                report.findings.push(Finding {
+                    rule: "panic-path",
+                    file: f.file.clone(),
+                    line: site.line,
+                    message: format!(
+                        "{} in `{}` can panic on the hot path ({}); return a Result, prove it \
+                         unreachable, or add `// audit:allow(panic-path) -- <reason>`",
+                        site.what,
+                        f.qual,
+                        panic_reach.chain(&graph, i)
+                    ),
+                });
+            }
+        }
+        if alloc_reach.is_reached(i) {
+            for site in &f.alloc_sites {
+                report.alloc_sites.push(Finding {
+                    rule: "hot-alloc",
+                    file: f.file.clone(),
+                    line: site.line,
+                    message: format!(
+                        "{} in `{}` allocates per activation ({}); reuse a ScratchPool buffer",
+                        site.what,
+                        f.qual,
+                        alloc_reach.chain(&graph, i)
+                    ),
+                });
+                *report.alloc_counts.entry(f.file.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+    report.findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report.alloc_sites.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(report)
 }
 
@@ -430,9 +521,9 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-// --- A5 baseline ratchet --------------------------------------------------
+// --- baseline ratchets (A5, A7) -------------------------------------------
 
-/// Parses the checked-in baseline file: `# comment` lines plus
+/// Parses a checked-in baseline file: `# comment` lines plus
 /// `<repo-relative-path> <count>` entries.
 pub fn parse_baseline(text: &str) -> BTreeMap<String, usize> {
     let mut out = BTreeMap::new();
@@ -450,25 +541,43 @@ pub fn parse_baseline(text: &str) -> BTreeMap<String, usize> {
     out
 }
 
-/// Renders per-file counts in the baseline file format.
-pub fn format_baseline(counts: &BTreeMap<String, usize>) -> String {
-    let mut s = String::from(
-        "# anc-audit unwrap/expect baseline (rule unwrap-budget / A5).\n\
-         # Per-file counts of .unwrap()/.expect( in non-test anc-core code.\n\
-         # The ratchet only goes down: regenerate with `cargo run -p anc-audit -- \
-         --update-baseline`\n\
-         # after REMOVING unwraps; adding one needs an inline audit:allow with a reason.\n",
-    );
+fn render_baseline(header: &str, counts: &BTreeMap<String, usize>) -> String {
+    let mut s = String::from(header);
     for (path, count) in counts {
         s.push_str(&format!("{path} {count}\n"));
     }
     s
 }
 
-/// Applies the ratchet: any file over its baseline count (or any new file
-/// with unwraps) is an error-tier finding; files now under budget produce a
-/// note suggesting a baseline refresh.
-pub fn ratchet(
+/// Renders per-file A5 counts in the baseline file format.
+pub fn format_baseline(counts: &BTreeMap<String, usize>) -> String {
+    render_baseline(
+        "# anc-audit unwrap/expect baseline (rule unwrap-budget / A5).\n\
+         # Per-file counts of .unwrap()/.expect( in non-test anc-core code.\n\
+         # The ratchet only goes down: regenerate with `cargo run -p anc-audit -- --bless`\n\
+         # after REMOVING unwraps; adding one needs an inline audit:allow with a reason.\n",
+        counts,
+    )
+}
+
+/// Renders per-file A7 counts in the baseline file format.
+pub fn format_baseline_a7(counts: &BTreeMap<String, usize>) -> String {
+    render_baseline(
+        "# anc-audit hot-path allocation baseline (rule hot-alloc / A7).\n\
+         # Per-file counts of Vec::new/vec![/.collect()/.to_vec()/Box::new/format! sites\n\
+         # reachable from a per-activation root (see DESIGN.md §8).\n\
+         # The ratchet only goes down: regenerate with `cargo run -p anc-audit -- --bless`\n\
+         # after REMOVING allocations (usually by reusing a ScratchPool buffer).\n",
+        counts,
+    )
+}
+
+/// Applies a per-file count ratchet for `rule`: any file over its baseline
+/// count (or any new file with sites) is an error-tier finding; files now
+/// under budget produce a note suggesting `--bless`.
+pub fn ratchet_rule(
+    rule: &'static str,
+    what: &str,
     baseline: &BTreeMap<String, usize>,
     current: &BTreeMap<String, usize>,
 ) -> (Vec<Finding>, Vec<String>) {
@@ -478,30 +587,44 @@ pub fn ratchet(
         let allowed = baseline.get(path).copied().unwrap_or(0);
         if count > allowed {
             errors.push(Finding {
-                rule: "unwrap-budget",
+                rule,
                 file: path.clone(),
                 line: 0,
                 message: format!(
-                    "{count} unwrap()/expect() calls exceed the baseline of {allowed}; \
-                     handle the error or add `// audit:allow(unwrap-budget) -- <reason>`"
+                    "{count} {what} exceed the baseline of {allowed}; \
+                     remove them or add `// audit:allow({rule}) -- <reason>`"
                 ),
             });
         } else if count < allowed {
             notes.push(format!(
-                "{path}: {count} unwrap()/expect() calls, baseline {allowed} — \
-                 run with --update-baseline to ratchet down"
+                "{path}: {count} {what}, baseline {allowed} — run with --bless to ratchet down"
             ));
         }
     }
     for (path, &allowed) in baseline {
         if allowed > 0 && !current.contains_key(path) {
             notes.push(format!(
-                "{path}: now 0 unwrap()/expect() calls, baseline {allowed} — \
-                 run with --update-baseline to ratchet down"
+                "{path}: now 0 {what}, baseline {allowed} — run with --bless to ratchet down"
             ));
         }
     }
     (errors, notes)
+}
+
+/// The A5 ratchet: see [`ratchet_rule`].
+pub fn ratchet(
+    baseline: &BTreeMap<String, usize>,
+    current: &BTreeMap<String, usize>,
+) -> (Vec<Finding>, Vec<String>) {
+    ratchet_rule("unwrap-budget", "unwrap()/expect() calls", baseline, current)
+}
+
+/// The A7 ratchet: see [`ratchet_rule`].
+pub fn ratchet_a7(
+    baseline: &BTreeMap<String, usize>,
+    current: &BTreeMap<String, usize>,
+) -> (Vec<Finding>, Vec<String>) {
+    ratchet_rule("hot-alloc", "hot-path allocation sites", baseline, current)
 }
 
 #[cfg(test)]
@@ -592,6 +715,25 @@ mod tests {
     }
 
     #[test]
+    fn live_code_after_a_test_module_is_scanned() {
+        // Regression for the PR 2 unsoundness: the old scanner exempted
+        // everything from the first #[cfg(test)] to EOF.
+        let src = "fn f() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn g() {}\n\
+                   }\n\
+                   pub fn live() {\n\
+                       let t = std::time::Instant::now();\n\
+                       drop(t);\n\
+                   }\n";
+        let r = scan_source("core", "crates/core/src/x.rs", src);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].rule, "wall-clock");
+        assert_eq!(r.findings[0].line, 7);
+    }
+
+    #[test]
     fn forbid_unsafe_checked_on_crate_roots_only() {
         let bare = "pub fn f() {}\n";
         let r = scan_source("core", "crates/core/src/lib.rs", bare);
@@ -623,12 +765,21 @@ mod tests {
     }
 
     #[test]
+    fn a7_ratchet_reports_under_its_own_rule() {
+        let current = BTreeMap::from([("a.rs".to_string(), 1)]);
+        let (errors, _) = ratchet_a7(&BTreeMap::new(), &current);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].rule, "hot-alloc");
+    }
+
+    #[test]
     fn baseline_round_trips() {
         let counts = BTreeMap::from([
             ("crates/core/src/engine.rs".to_string(), 2),
             ("crates/core/src/other.rs".to_string(), 7),
         ]);
         assert_eq!(parse_baseline(&format_baseline(&counts)), counts);
+        assert_eq!(parse_baseline(&format_baseline_a7(&counts)), counts);
         assert!(parse_baseline("# only comments\n\n").is_empty());
     }
 }

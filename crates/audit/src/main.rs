@@ -1,23 +1,31 @@
-//! `anc-audit` binary: run the determinism lint pass over the workspace.
+//! `anc-audit` binary: run the determinism + hot-path lint pass over the
+//! workspace.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run -p anc-audit --release [-- --root <dir>] [--update-baseline]
+//! cargo run -p anc-audit --release [-- --root <dir>] [--format text|json] [--bless]
 //! ```
 //!
-//! Exits 0 when the tree is clean (no unsuppressed findings and the
-//! unwrap/expect counts are within the checked-in baseline), 1 on findings,
-//! 2 on usage/I-O errors. `--update-baseline` rewrites
-//! `crates/audit/baseline_a5.txt` from the current counts — only do this
-//! after *removing* unwraps; additions need an inline `audit:allow`.
+//! Exits 0 when the tree is clean (no unsuppressed deny-tier findings and
+//! the A5/A7 counts are within the checked-in baselines), 1 on findings,
+//! 2 on usage/I-O errors. `--bless` (alias: `--update-baseline`) rewrites
+//! `crates/audit/baseline_a5.txt` and `crates/audit/baseline_a7.txt` from
+//! the current counts — only do this after *removing* sites; additions need
+//! an inline `audit:allow`. `--format json` emits a machine-readable report
+//! on stdout (consumed by `ci.sh` into `results/audit.json`).
 
 #![forbid(unsafe_code)]
 
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use anc_audit::{format_baseline, parse_baseline, ratchet, scan_tree, BASELINE_PATH};
+use anc_audit::{
+    format_baseline, format_baseline_a7, parse_baseline, ratchet, ratchet_a7, scan_tree, Finding,
+    BASELINE_A7_PATH, BASELINE_PATH,
+};
 
 fn find_root(start: &Path) -> Option<PathBuf> {
     let mut dir = start.to_path_buf();
@@ -31,9 +39,56 @@ fn find_root(start: &Path) -> Option<PathBuf> {
     }
 }
 
+/// Escapes `s` as the contents of a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_findings(findings: &[Finding]) -> String {
+    let rows: Vec<String> = findings
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+                json_escape(f.rule),
+                json_escape(&f.file),
+                f.line,
+                json_escape(&f.message)
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
+fn json_counts(counts: &BTreeMap<String, usize>) -> String {
+    let rows: Vec<String> =
+        counts.iter().map(|(path, n)| format!("\"{}\":{}", json_escape(path), n)).collect();
+    format!("{{{}}}", rows.join(","))
+}
+
+fn json_strings(items: &[String]) -> String {
+    let rows: Vec<String> = items.iter().map(|s| format!("\"{}\"", json_escape(s))).collect();
+    format!("[{}]", rows.join(","))
+}
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
-    let mut update_baseline = false;
+    let mut bless = false;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -44,9 +99,20 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
-            "--update-baseline" => update_baseline = true,
+            "--bless" | "--update-baseline" => bless = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    eprintln!("--format needs `text` or `json`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
-                eprintln!("unknown argument {other:?}; usage: anc-audit [--root <dir>] [--update-baseline]");
+                eprintln!(
+                    "unknown argument {other:?}; usage: \
+                     anc-audit [--root <dir>] [--format text|json] [--bless]"
+                );
                 return ExitCode::from(2);
             }
         }
@@ -67,49 +133,84 @@ fn main() -> ExitCode {
         }
     };
 
-    let baseline_file = root.join(BASELINE_PATH);
-    if update_baseline {
-        if let Err(e) = std::fs::write(&baseline_file, format_baseline(&report.unwrap_counts)) {
-            eprintln!("cannot write {}: {e}", baseline_file.display());
-            return ExitCode::from(2);
+    let a5_file = root.join(BASELINE_PATH);
+    let a7_file = root.join(BASELINE_A7_PATH);
+    if bless {
+        let writes = [
+            (&a5_file, format_baseline(&report.unwrap_counts)),
+            (&a7_file, format_baseline_a7(&report.alloc_counts)),
+        ];
+        for (path, text) in writes {
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
         }
-        println!(
-            "[anc-audit] baseline updated: {} file(s), {} unwrap/expect call(s)",
+        eprintln!(
+            "[anc-audit] baselines blessed: A5 {} file(s) / {} site(s), A7 {} file(s) / {} site(s)",
             report.unwrap_counts.len(),
-            report.unwrap_counts.values().sum::<usize>()
+            report.unwrap_counts.values().sum::<usize>(),
+            report.alloc_counts.len(),
+            report.alloc_counts.values().sum::<usize>()
         );
     }
-    let baseline = match std::fs::read_to_string(&baseline_file) {
-        Ok(text) => parse_baseline(&text),
-        Err(e) => {
-            eprintln!(
-                "cannot read baseline {}: {e}; run with --update-baseline to create it",
-                baseline_file.display()
-            );
-            return ExitCode::from(2);
+    let mut baselines: Vec<BTreeMap<String, usize>> = Vec::new();
+    for path in [&a5_file, &a7_file] {
+        match std::fs::read_to_string(path) {
+            Ok(text) => baselines.push(parse_baseline(&text)),
+            Err(e) => {
+                eprintln!(
+                    "cannot read baseline {}: {e}; run with --bless to create it",
+                    path.display()
+                );
+                return ExitCode::from(2);
+            }
         }
-    };
-    let (budget_errors, notes) = ratchet(&baseline, &report.unwrap_counts);
+    }
+    let (a5_errors, a5_notes) = ratchet(&baselines[0], &report.unwrap_counts);
+    let (a7_errors, a7_notes) = ratchet_a7(&baselines[1], &report.alloc_counts);
 
-    let mut failed = false;
-    for f in report.findings.iter().chain(budget_errors.iter()) {
-        println!("{f}");
-        failed = true;
-    }
-    for note in &notes {
-        println!("note: {note}");
-    }
-    if failed {
+    let errors: Vec<&Finding> =
+        report.findings.iter().chain(a5_errors.iter()).chain(a7_errors.iter()).collect();
+    let notes: Vec<String> = a5_notes.into_iter().chain(a7_notes).collect();
+    let ok = errors.is_empty();
+
+    if json {
+        let error_rows: Vec<Finding> = errors.iter().map(|f| (*f).clone()).collect();
         println!(
-            "[anc-audit] FAIL: {} finding(s) — see DESIGN.md §8 for rules and suppression syntax",
-            report.findings.len() + budget_errors.len()
+            "{{\"ok\":{ok},\"findings\":{},\"unwrap_counts\":{},\"alloc_counts\":{},\
+             \"alloc_sites\":{},\"notes\":{}}}",
+            json_findings(&error_rows),
+            json_counts(&report.unwrap_counts),
+            json_counts(&report.alloc_counts),
+            json_findings(&report.alloc_sites),
+            json_strings(&notes)
         );
-        ExitCode::from(1)
     } else {
-        println!(
-            "[anc-audit] OK: workspace clean ({} unwrap/expect within baseline)",
-            report.unwrap_counts.values().sum::<usize>()
-        );
+        for f in &errors {
+            println!("{f}");
+        }
+        for note in &notes {
+            println!("note: {note}");
+        }
+        if ok {
+            println!(
+                "[anc-audit] OK: workspace clean ({} unwrap/expect, {} hot-path alloc site(s) \
+                 within baseline)",
+                report.unwrap_counts.values().sum::<usize>(),
+                report.alloc_counts.values().sum::<usize>()
+            );
+        } else {
+            println!(
+                "[anc-audit] FAIL: {} finding(s) — see DESIGN.md §8 for rules and suppression \
+                 syntax",
+                errors.len()
+            );
+        }
+    }
+    if ok {
         ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
     }
 }

@@ -1,0 +1,127 @@
+//! Seeded-violation tests for the call-graph reachability rules, mirroring
+//! `seeded_violation.rs` but driving the **binary** so the exit code and the
+//! JSON report are covered end to end:
+//!
+//! * **A6 panic-path**: a `panic!` two calls below `AncEngine::activate`
+//!   must fail the audit (exit 1) attributed to rule `panic-path`;
+//! * **A7 hot-alloc**: a `.collect()` below `AncEngine::activate_batch`
+//!   must trip the (empty-baseline) ratchet attributed to `hot-alloc`.
+//!
+//! Each test builds a synthetic workspace in a temp directory — including
+//! the two baseline files the binary requires — so the real sources are
+//! never touched.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Lays down a minimal workspace at `tmp` with empty A5/A7 baselines and
+/// the given `crates/core/src/engine.rs` body.
+fn seed_tree(tmp: &Path, engine_src: &str) {
+    let core_src = tmp.join("crates/core/src");
+    std::fs::create_dir_all(&core_src).unwrap();
+    std::fs::write(core_src.join("lib.rs"), "#![forbid(unsafe_code)]\npub mod engine;\n").unwrap();
+    std::fs::write(core_src.join("engine.rs"), engine_src).unwrap();
+    let audit_dir = tmp.join("crates/audit");
+    std::fs::create_dir_all(&audit_dir).unwrap();
+    std::fs::write(audit_dir.join("baseline_a5.txt"), "# empty A5 baseline\n").unwrap();
+    std::fs::write(audit_dir.join("baseline_a7.txt"), "# empty A7 baseline\n").unwrap();
+}
+
+/// Runs the audit binary on `root` with `--format json`, returning
+/// `(exit code, stdout)`.
+fn run_audit(root: &Path) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_anc-audit"))
+        .args(["--root", root.to_str().unwrap(), "--format", "json"])
+        .output()
+        .expect("run anc-audit");
+    (out.status.code().expect("exit code"), String::from_utf8(out.stdout).expect("utf8 stdout"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("anc-audit-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn seeded_panic_reachable_from_hot_root_exits_nonzero() {
+    let tmp = tmp_dir("a6");
+    seed_tree(
+        &tmp,
+        "pub struct AncEngine {\n\
+         \x20   data: Vec<u32>,\n\
+         }\n\
+         impl AncEngine {\n\
+         \x20   pub fn activate(&mut self, e: u32, _t: f64) {\n\
+         \x20       self.helper(e);\n\
+         \x20   }\n\
+         \x20   fn helper(&self, e: u32) {\n\
+         \x20       self.check(e);\n\
+         \x20   }\n\
+         \x20   fn check(&self, e: u32) {\n\
+         \x20       if e as usize >= self.data.len() {\n\
+         \x20           panic!(\"edge out of range\");\n\
+         \x20       }\n\
+         \x20   }\n\
+         }\n",
+    );
+    let (code, stdout) = run_audit(&tmp);
+    std::fs::remove_dir_all(&tmp).unwrap();
+
+    assert_eq!(code, 1, "a reachable panic must fail the audit; stdout: {stdout}");
+    assert!(stdout.contains("\"ok\":false"), "{stdout}");
+    assert!(stdout.contains("\"rule\":\"panic-path\""), "must attribute to A6: {stdout}");
+    assert!(
+        stdout.contains("AncEngine::activate") && stdout.contains("AncEngine::check"),
+        "the finding must carry the root and the offending fn: {stdout}"
+    );
+}
+
+#[test]
+fn seeded_alloc_reachable_from_batch_root_trips_the_ratchet() {
+    let tmp = tmp_dir("a7");
+    seed_tree(
+        &tmp,
+        "pub struct AncEngine;\n\
+         impl AncEngine {\n\
+         \x20   pub fn activate_batch(&mut self, edges: &[u32], _t: f64) -> usize {\n\
+         \x20       self.gather(edges).len()\n\
+         \x20   }\n\
+         \x20   fn gather(&self, edges: &[u32]) -> Vec<u32> {\n\
+         \x20       edges.iter().copied().collect()\n\
+         \x20   }\n\
+         }\n",
+    );
+    let (code, stdout) = run_audit(&tmp);
+    std::fs::remove_dir_all(&tmp).unwrap();
+
+    assert_eq!(code, 1, "an over-baseline hot alloc must fail the audit; stdout: {stdout}");
+    assert!(stdout.contains("\"ok\":false"), "{stdout}");
+    assert!(stdout.contains("\"rule\":\"hot-alloc\""), "must attribute to A7: {stdout}");
+    // The per-site report names the offending fn and the reaching root.
+    assert!(
+        stdout.contains("AncEngine::gather") && stdout.contains("AncEngine::activate_batch"),
+        "alloc_sites must carry the fn and its root: {stdout}"
+    );
+}
+
+#[test]
+fn seeded_allow_silences_the_panic_path() {
+    let tmp = tmp_dir("a6-allow");
+    seed_tree(
+        &tmp,
+        "pub struct AncEngine;\n\
+         impl AncEngine {\n\
+         \x20   pub fn activate(&mut self, _e: u32, _t: f64) {\n\
+         \x20       self.guard();\n\
+         \x20   }\n\
+         \x20   fn guard(&self) {\n\
+         \x20       // audit:allow(panic-path) -- structurally unreachable\n\
+         \x20       panic!(\"never\");\n\
+         \x20   }\n\
+         }\n",
+    );
+    let (code, stdout) = run_audit(&tmp);
+    std::fs::remove_dir_all(&tmp).unwrap();
+
+    assert_eq!(code, 0, "an allowed panic must not fail the audit; stdout: {stdout}");
+    assert!(stdout.contains("\"ok\":true"), "{stdout}");
+}

@@ -9,7 +9,7 @@
 
 use std::path::{Path, PathBuf};
 
-use anc_audit::{parse_baseline, ratchet, scan_tree};
+use anc_audit::{parse_baseline, ratchet, ratchet_a7, scan_tree};
 
 fn repo_root() -> PathBuf {
     // crates/audit → crates → repo root.
@@ -29,6 +29,10 @@ fn real_workspace_is_clean() {
         std::fs::read_to_string(root.join(anc_audit::BASELINE_PATH)).expect("baseline file");
     let (errors, _notes) = ratchet(&parse_baseline(&baseline_text), &report.unwrap_counts);
     assert!(errors.is_empty(), "unwrap counts must be within baseline: {errors:?}");
+    let a7_text =
+        std::fs::read_to_string(root.join(anc_audit::BASELINE_A7_PATH)).expect("A7 baseline file");
+    let (a7_errors, _notes) = ratchet_a7(&parse_baseline(&a7_text), &report.alloc_counts);
+    assert!(a7_errors.is_empty(), "hot-alloc counts must be within baseline: {a7_errors:?}");
 }
 
 #[test]

@@ -101,6 +101,13 @@ pub struct AncEngine {
     /// Per-worker scratch buffers for the fused batch path's parallel σ
     /// phase (allocated lazily, reused across batches).
     sigma_pool: ScratchPool,
+    /// Fused-batch worker outputs in flight between the parallel σ phase
+    /// and reassembly; persists so `collect_into_vec` reuses one buffer.
+    batch_chunks: Vec<Scratch>,
+    /// Reassembled flat σ rows of the current fused batch (reused).
+    batch_sigma_flat: Vec<f64>,
+    /// Per-trigger (offset, len, node type) into `batch_sigma_flat`.
+    batch_ranges: Vec<(usize, usize, NodeType)>,
     /// Running sum of the anchored similarities (for the relative floor).
     sim_sum: f64,
     /// Total activations processed.
@@ -166,6 +173,9 @@ impl AncEngine {
             index_seed: seed,
             scratch,
             sigma_pool,
+            batch_chunks: Vec::new(),
+            batch_sigma_flat: Vec::new(),
+            batch_ranges: Vec::new(),
             sim_sum,
             activations: 0,
             rescales: 0,
@@ -203,11 +213,13 @@ impl AncEngine {
     }
 
     /// True (de-anchored) activeness of `e` at the current time.
+    #[must_use = "pure query; the activeness value is the only effect"]
     pub fn activeness(&self, e: EdgeId) -> f64 {
         self.act.current(e, &self.clock)
     }
 
     /// True similarity `S_t(e)` at the current time.
+    #[must_use = "pure query; the similarity value is the only effect"]
     pub fn similarity(&self, e: EdgeId) -> f64 {
         self.sim[e as usize] * self.clock.global_factor()
     }
@@ -220,11 +232,13 @@ impl AncEngine {
 
     /// Active similarity σ(u, v) of an edge's endpoints (NeuM — identical
     /// for anchored and true activeness, Lemma 3).
+    #[must_use = "pure query; the σ value is the only effect"]
     pub fn sigma(&self, u: NodeId, v: NodeId) -> f64 {
         self.ctx().sigma(u, v)
     }
 
     /// Node classification under the configured `(ε, µ)`.
+    #[must_use = "pure query (scratch reuse aside); the classification is the only effect"]
     pub fn node_type(&mut self, v: NodeId) -> NodeType {
         let ctx = SimilarityCtx { g: &self.g, act: self.act.as_slice(), node_sum: &self.node_sum };
         ctx.node_type(v, self.cfg.epsilon, self.cfg.mu, &mut self.scratch)
@@ -299,6 +313,7 @@ impl AncEngine {
                 self.pyramids.on_weight_change_serial(&self.g, &self.recip, e, old_w)
             }
         } else {
+            // audit:allow(hot-alloc) -- an empty Vec::new never allocates
             Vec::new()
         }
     }
@@ -412,48 +427,74 @@ impl AncEngine {
         let scratches = self.sigma_pool.take(n_chunks);
         let (epsilon, mu) = (self.cfg.epsilon, self.cfg.mu);
         let ctx = SimilarityCtx { g: &self.g, act: self.act.as_slice(), node_sum: &self.node_sum };
-        // One worker's output: flat σ rows, per-trigger (row length, node
-        // type), and the scratch buffer travelling back to the pool.
-        type SigmaChunk = (Vec<f64>, Vec<(u32, NodeType)>, Scratch);
-        let tasks: Vec<(&[NodeId], Scratch)> = triggers.chunks(chunk_len).zip(scratches).collect();
-        let outputs: Vec<SigmaChunk> = tasks
-            .into_par_iter()
+        // Each worker writes its flat σ rows and per-trigger (row length,
+        // node type) pairs into its pooled scratch, so the parallel phase
+        // allocates nothing once the pool reaches its high-water mark.
+        // `par_chunks` and `into_par_iter` are both indexed iterators, which
+        // lets `collect_into_vec` reuse the engine's persistent chunk buffer.
+        let chunk_out = &mut self.batch_chunks;
+        triggers
+            .par_chunks(chunk_len)
+            .zip(scratches.into_par_iter())
             .map(|(chunk, mut scratch)| {
-                let mut flat = Vec::new();
-                let mut rows = Vec::with_capacity(chunk.len());
+                scratch.flat.clear();
+                scratch.rows.clear();
                 for &u in chunk {
                     ctx.sigma_all(u, &mut scratch);
                     let ty = ctx.node_type_from_sigmas(u, epsilon, mu, &scratch.sigmas);
-                    rows.push((scratch.sigmas.len() as u32, ty));
-                    flat.extend_from_slice(&scratch.sigmas);
+                    scratch.rows.push((scratch.sigmas.len() as u32, ty));
+                    scratch.flat.extend_from_slice(&scratch.sigmas);
                 }
-                (flat, rows, scratch)
+                scratch
             })
-            .collect();
+            .collect_into_vec(chunk_out);
 
         // Reassemble per-trigger σ rows into one flat array; `ranges` is
         // aligned with the sorted `triggers`, looked up by binary search.
-        let mut sigma_flat: Vec<f64> = Vec::new();
-        let mut ranges: Vec<(usize, usize, NodeType)> = Vec::with_capacity(triggers.len());
-        let mut returned: Vec<Scratch> = Vec::with_capacity(outputs.len());
-        for (flat, rows, scratch) in outputs {
+        // Both reassembly buffers persist on the engine across batches.
+        let mut sigma_flat = std::mem::take(&mut self.batch_sigma_flat);
+        let mut ranges = std::mem::take(&mut self.batch_ranges);
+        sigma_flat.clear();
+        ranges.clear();
+        for chunk in &self.batch_chunks {
             let mut off = sigma_flat.len();
-            for (len, ty) in rows {
+            for &(len, ty) in &chunk.rows {
                 ranges.push((off, len as usize, ty));
                 off += len as usize;
             }
-            sigma_flat.extend_from_slice(&flat);
-            returned.push(scratch);
+            sigma_flat.extend_from_slice(&chunk.flat);
         }
-        self.sigma_pool.put_back(returned);
+        self.sigma_pool.put_back(self.batch_chunks.drain(..));
 
         // Phase 3: sequential reinforcement replay against the σ cache.
         let mut deltas: Vec<(EdgeId, f64, f64)> = Vec::with_capacity(edges.len());
         let mut dirty: Vec<EdgeId> = Vec::with_capacity(edges.len());
         for &e in edges {
             let (u, v) = self.g.endpoints(e);
-            let iu = triggers.binary_search(&u).expect("trigger indexed");
-            let iv = triggers.binary_search(&v).expect("trigger indexed");
+            let (Ok(iu), Ok(iv)) = (triggers.binary_search(&u), triggers.binary_search(&v)) else {
+                // Unreachable by construction (`triggers` holds every batch
+                // endpoint), but a cache miss must not panic on the hot
+                // path: fall back to the uncached reinforcement, which
+                // recomputes σ from the same activeness snapshot and is
+                // therefore numerically identical.
+                let params = self.reinforce_params();
+                let ctx = SimilarityCtx {
+                    g: &self.g,
+                    act: self.act.as_slice(),
+                    node_sum: &self.node_sum,
+                };
+                let out = apply_reinforcement(&ctx, &mut self.sim, e, &params, &mut self.scratch);
+                stats.sigma_recomputes += 2;
+                self.sim_sum += out.new_sim - out.old_sim;
+                if out.new_sim != out.old_sim {
+                    let old_w = self.recip[e as usize];
+                    let new_w = 1.0 / out.new_sim;
+                    self.recip[e as usize] = new_w;
+                    deltas.push((e, old_w, new_w));
+                    dirty.push(e);
+                }
+                continue;
+            };
             let (su, lu, tu) = ranges[iu];
             let (sv, lv, tv) = ranges[iv];
             let floor = self.reinforce_params().floor_anchored;
@@ -477,6 +518,8 @@ impl AncEngine {
                 dirty.push(e);
             }
         }
+        self.batch_sigma_flat = sigma_flat;
+        self.batch_ranges = ranges;
 
         // Phase 4: one grouped repair fan-out, then at most one rescale
         // (safe to defer: `t` is fixed within the batch, so the anchored
@@ -625,6 +668,7 @@ impl AncEngine {
     /// the index in `O(k log n)` via the underlying Das Sarma sketch: never
     /// an underestimate, `O(log n)` expected stretch. `f64::INFINITY` when
     /// no partition joins the pair.
+    #[must_use = "pure query; the distance estimate is the only effect"]
     pub fn approx_distance(&self, u: NodeId, v: NodeId) -> f64 {
         // Stored distances are anchored (weights 1/S*); the true NegM value
         // divides by the global factor g... true w = w*/g, so true dist =
@@ -634,6 +678,7 @@ impl AncEngine {
 
     /// Exact *true* distance `M_t(u, v)` by on-line Dijkstra (`O(m log n)`),
     /// the reference for [`Self::approx_distance`].
+    #[must_use = "pure query; the distance is the only effect"]
     pub fn exact_distance(&self, u: NodeId, v: NodeId) -> f64 {
         crate::metric::distance(&self.g, &self.sim, u, v) / self.clock.global_factor()
     }
@@ -712,6 +757,9 @@ impl AncEngine {
             index_seed: snapshot.index_seed,
             scratch,
             sigma_pool,
+            batch_chunks: Vec::new(),
+            batch_sigma_flat: Vec::new(),
+            batch_ranges: Vec::new(),
             sim_sum: snapshot.sim_sum,
             activations: snapshot.activations,
             rescales: snapshot.rescales,

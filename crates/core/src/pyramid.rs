@@ -211,8 +211,10 @@ impl Pyramids {
         );
         let workers = rayon::current_num_threads().clamp(1, self.partitions.len());
         let chunk = self.partitions.len().div_ceil(workers);
-        let per_chunk: Vec<RepairStats> = self
-            .partitions
+        // Workers fold their counters with `reduce` (addition is commutative
+        // and associative, so the result is thread-count independent) rather
+        // than collecting a per-chunk Vec on the hot path.
+        self.partitions
             .par_chunks_mut(chunk)
             .map(|parts| {
                 // One weight-array clone per worker; rewinding between
@@ -235,12 +237,10 @@ impl Pyramids {
                 }
                 stats
             })
-            .collect();
-        let mut total = RepairStats::default();
-        for s in per_chunk {
-            total += s;
-        }
-        total
+            .reduce(RepairStats::default, |mut a, b| {
+                a += b;
+                a
+            })
     }
 
     /// Serial variant of [`Self::on_weight_change`] (used to measure the

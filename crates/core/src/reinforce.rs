@@ -151,6 +151,9 @@ pub fn apply_reinforcement(
     let sigmas_u = std::mem::take(&mut scratch.sigmas);
     let type_u = ctx.node_type_from_sigmas(u, params.epsilon, params.mu, &sigmas_u);
 
+    // The second row goes through the pooled `sigmas_b` buffer so both rows
+    // can be live at once without allocating per activation.
+    scratch.sigmas = std::mem::take(&mut scratch.sigmas_b);
     ctx.sigma_all(v, scratch);
     let sigmas_v = std::mem::take(&mut scratch.sigmas);
     let type_v = ctx.node_type_from_sigmas(v, params.epsilon, params.mu, &sigmas_v);
@@ -165,8 +168,9 @@ pub fn apply_reinforcement(
         scratch,
     );
 
-    // Return one sigma buffer for reuse.
+    // Return both sigma buffers for reuse.
     scratch.sigmas = sigmas_u;
+    scratch.sigmas_b = sigmas_v;
     out
 }
 

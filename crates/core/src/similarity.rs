@@ -51,12 +51,22 @@ pub struct Scratch {
     stamp: u32,
     /// σ(u, w) per adjacency slot of the last `sigma_all` call.
     pub sigmas: Vec<f64>,
+    /// Second σ row buffer: `apply_reinforcement` needs both trigger rows
+    /// live at once, so it swaps this in for the second `sigma_all` call
+    /// instead of allocating a fresh row per activation.
+    pub sigmas_b: Vec<f64>,
+    /// Flat concatenation of σ rows produced by one fused-batch worker
+    /// chunk (engine use; reused across batches via the pool).
+    pub flat: Vec<f64>,
+    /// Per-trigger (row length, node type) pairs matching `flat`.
+    pub rows: Vec<(u32, NodeType)>,
 }
 
 impl Scratch {
     /// Creates scratch space for graphs of `n` nodes.
     pub fn new(n: usize) -> Self {
-        Self { mark: vec![0; n], val: vec![0.0; n], stamp: 0, sigmas: Vec::new() }
+        // audit:allow(hot-alloc) -- pool-miss path: a worker's buffers are allocated once, then reused
+        Self { mark: vec![0; n], val: vec![0.0; n], ..Self::default() }
     }
 
     fn next_stamp(&mut self) -> u32 {

@@ -36,6 +36,14 @@ pub struct VoronoiPartition {
     /// Timestamped marker used for subtree membership during updates.
     mark: Vec<u32>,
     stamp: u32,
+    /// Pooled DFS stack for update-increase subtree collection. Always
+    /// drained between updates — not logical state, so snapshots skip it.
+    #[serde(skip)]
+    scratch_stack: Vec<NodeId>,
+    /// Pooled Dijkstra frontier reused by both update algorithms (same
+    /// lifecycle as `scratch_stack`).
+    #[serde(skip)]
+    scratch_heap: BinaryHeap<HeapEntry>,
 }
 
 impl VoronoiPartition {
@@ -60,6 +68,9 @@ impl VoronoiPartition {
             children,
             mark: vec![0; n],
             stamp: 0,
+            // audit:allow(hot-alloc) -- empty Vec::new never allocates
+            scratch_stack: Vec::new(),
+            scratch_heap: BinaryHeap::new(),
         }
     }
 
@@ -222,7 +233,9 @@ impl VoronoiPartition {
         let (u, v) = g.endpoints(e);
         let w = weights[e as usize];
         let mut affected = Vec::new();
-        let mut q: BinaryHeap<HeapEntry> = BinaryHeap::new();
+        // Pooled frontier, taken out so `self.probe` can borrow mutably.
+        let mut q = std::mem::take(&mut self.scratch_heap);
+        q.clear();
         if self.probe(u, v, w) {
             q.push(HeapEntry { dist: self.dist[u as usize], node: u });
             affected.push(u);
@@ -242,6 +255,7 @@ impl VoronoiPartition {
                 }
             }
         }
+        self.scratch_heap = q;
         affected.sort_unstable();
         affected.dedup();
         affected
@@ -266,16 +280,21 @@ impl VoronoiPartition {
         } else if self.parent[u as usize] == v {
             u
         } else {
+            // audit:allow(hot-alloc) -- empty Vec::new never allocates
             return Vec::new(); // non-tree edge: no shortest path used it
         };
 
-        // Collect T_o.
+        // Collect T_o (pooled DFS stack; the subtree list itself is the
+        // return value and transfers to the caller).
         let mut subtree = Vec::new();
-        let mut stack = vec![o];
+        let mut stack = std::mem::take(&mut self.scratch_stack);
+        stack.clear();
+        stack.push(o);
         while let Some(x) = stack.pop() {
             subtree.push(x);
             stack.extend_from_slice(&self.children[x as usize]);
         }
+        self.scratch_stack = stack;
 
         // Detach o from its parent, then reset the whole subtree. Children
         // lists inside the subtree are cleared wholesale (all children of a
@@ -296,8 +315,10 @@ impl VoronoiPartition {
             self.children[x as usize].clear();
         }
 
-        // Seed the bounded Dijkstra with the subtree's outside boundary.
-        let mut q: BinaryHeap<HeapEntry> = BinaryHeap::new();
+        // Seed the bounded Dijkstra with the subtree's outside boundary
+        // (pooled frontier, as in `update_decrease`).
+        let mut q = std::mem::take(&mut self.scratch_heap);
+        q.clear();
         for &x in &subtree {
             for (y, _) in g.edges_of(x) {
                 if self.mark[y as usize] != stamp && self.dist[y as usize].is_finite() {
@@ -315,6 +336,7 @@ impl VoronoiPartition {
                 }
             }
         }
+        self.scratch_heap = q;
         subtree.sort_unstable();
         subtree
     }
@@ -336,6 +358,7 @@ impl VoronoiPartition {
         } else if new_w > old_w {
             self.update_increase(g, weights, e)
         } else {
+            // audit:allow(hot-alloc) -- an empty Vec::new never allocates
             Vec::new()
         }
     }

@@ -116,6 +116,12 @@ impl<T: Send> IntoParIter<T> {
         MapOwned { items: self.items, f }
     }
 
+    /// Pairs this iterator's items with `other`'s in order, truncating to
+    /// the shorter input (as with `Iterator::zip`).
+    pub fn zip<U: Send>(self, other: IntoParIter<U>) -> IntoParIter<(T, U)> {
+        IntoParIter { items: self.items.into_iter().zip(other.items).collect() }
+    }
+
     /// Runs `f` on every item.
     pub fn for_each<F>(self, f: F)
     where
@@ -141,6 +147,33 @@ impl<T, F> MapOwned<T, F> {
         C: From<Vec<R>>,
     {
         C::from(map_vec(self.items, &self.f))
+    }
+
+    /// Executes the map in parallel and writes the results into `out` in
+    /// input order, reusing its allocation where possible (the shape of
+    /// rayon's `collect_into_vec`).
+    pub fn collect_into_vec<R>(self, out: &mut Vec<R>)
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        out.clear();
+        out.extend(map_vec(self.items, &self.f));
+    }
+
+    /// Parallel map-reduce: maps every item, then folds the results with
+    /// `op` starting from `identity()` **in input order** — deterministic
+    /// for any `op`, independent of the thread count.
+    pub fn reduce<R, ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        ID: Fn() -> R,
+        OP: Fn(R, R) -> R,
+    {
+        map_vec(self.items, &self.f).into_iter().fold(identity(), op)
     }
 }
 
@@ -241,14 +274,21 @@ impl<T: Send> IntoParallelIterator for Vec<T> {
     }
 }
 
-/// `par_iter` / `par_iter_mut` / `par_chunks_mut` on slices (and anything
-/// derefing to them).
+/// `par_iter` / `par_iter_mut` / `par_chunks` / `par_chunks_mut` on slices
+/// (and anything derefing to them).
 pub trait ParallelSlice<T> {
     /// Parallel iterator over shared references.
     fn par_iter(&self) -> ParIter<'_, T>;
 
     /// Parallel iterator over mutable references.
     fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+
+    /// Parallel iterator over non-overlapping shared chunks of at most
+    /// `chunk_size` items (the last chunk may be shorter). Like every
+    /// combinator here, results collect in input order.
+    fn par_chunks(&self, chunk_size: usize) -> IntoParIter<&[T]>
+    where
+        T: Sync;
 
     /// Parallel iterator over non-overlapping mutable chunks of at most
     /// `chunk_size` items (the last chunk may be shorter). Like every
@@ -265,6 +305,14 @@ impl<T> ParallelSlice<T> for [T] {
 
     fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
         ParIterMut { slice: self }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> IntoParIter<&[T]>
+    where
+        T: Sync,
+    {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        IntoParIter { items: self.chunks(chunk_size).collect() }
     }
 
     fn par_chunks_mut(&mut self, chunk_size: usize) -> IntoParIter<&mut [T]>

@@ -1,16 +1,19 @@
 //! Derive macros for the vendored `serde` facade.
 //!
 //! Supports exactly the item shapes used in this workspace: non-generic
-//! named-field structs and non-generic enums with unit variants, with no
-//! `#[serde(...)]` attributes. The implementation walks the raw
-//! `TokenStream` (no `syn`/`quote` — the build environment has no access to
-//! crates.io) and emits the impl as source text.
+//! named-field structs and non-generic enums with unit variants. The only
+//! recognized field attribute is `#[serde(skip)]` — the field is omitted
+//! from the JSON and rebuilt with `Default::default()` on deserialize (used
+//! for pooled scratch buffers that are not logical state). The
+//! implementation walks the raw `TokenStream` (no `syn`/`quote` — the build
+//! environment has no access to crates.io) and emits the impl as source
+//! text.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 enum Item {
-    /// Struct name and field names, in declaration order.
-    Struct(String, Vec<String>),
+    /// Struct name and `(field name, skipped)` pairs, in declaration order.
+    Struct(String, Vec<(String, bool)>),
     /// Enum name and unit-variant names.
     Enum(String, Vec<String>),
 }
@@ -63,16 +66,40 @@ fn parse_item(input: TokenStream) -> Item {
     }
 }
 
-/// Extracts field names from a named-field struct body.
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+/// Whether an attribute group (the `[...]` after `#`) is `serde(skip)`.
+fn is_serde_skip(attr: &TokenTree) -> bool {
+    let TokenTree::Group(g) = attr else { return false };
+    if g.delimiter() != Delimiter::Bracket {
+        return false;
+    }
+    let mut inner = g.stream().into_iter();
+    match inner.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match inner.next() {
+        Some(TokenTree::Group(args)) if args.delimiter() == Delimiter::Parenthesis => args
+            .stream()
+            .into_iter()
+            .any(|tt| matches!(&tt, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Extracts `(field name, skipped)` pairs from a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<(String, bool)> {
     let mut fields = Vec::new();
     let mut tokens = body.into_iter().peekable();
     loop {
-        // Skip attributes (doc comments arrive as `#[doc = ...]`).
+        // Skip attributes (doc comments arrive as `#[doc = ...]`),
+        // remembering whether one of them is `#[serde(skip)]`.
+        let mut skip = false;
         while let Some(TokenTree::Punct(p)) = tokens.peek() {
             if p.as_char() == '#' {
                 tokens.next();
-                tokens.next();
+                if let Some(attr) = tokens.next() {
+                    skip |= is_serde_skip(&attr);
+                }
             } else {
                 break;
             }
@@ -92,7 +119,7 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
         let TokenTree::Ident(field) = tt else {
             panic!("serde_derive: expected field name, got {tt:?}");
         };
-        fields.push(field.to_string());
+        fields.push((field.to_string(), skip));
         match tokens.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
             other => panic!("serde_derive: expected `:` after field, got {other:?}"),
@@ -146,7 +173,7 @@ fn parse_unit_variants(body: TokenStream) -> Vec<String> {
 }
 
 /// Derives the facade's `Serialize` (JSON writer).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let mut code = String::new();
     match parse_item(input) {
@@ -154,10 +181,15 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             code.push_str(&format!(
                 "impl ::serde::Serialize for {name} {{\n    fn write_json(&self, out: &mut String) {{\n        out.push('{{');\n"
             ));
-            for (i, f) in fields.iter().enumerate() {
-                if i > 0 {
+            let mut emitted = 0usize;
+            for (f, skip) in &fields {
+                if *skip {
+                    continue;
+                }
+                if emitted > 0 {
                     code.push_str("        out.push(',');\n");
                 }
+                emitted += 1;
                 code.push_str(&format!(
                     "        out.push_str(\"\\\"{f}\\\":\");\n        ::serde::Serialize::write_json(&self.{f}, out);\n"
                 ));
@@ -180,7 +212,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives the facade's `Deserialize` (from a parsed JSON value).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let mut code = String::new();
     match parse_item(input) {
@@ -188,8 +220,16 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             code.push_str(&format!(
                 "impl ::serde::Deserialize for {name} {{\n    fn from_json(v: &::serde::json::Value) -> Result<Self, ::serde::json::Error> {{\n        let obj = v.as_object().ok_or_else(|| ::serde::json::Error::msg(\"expected object for {name}\"))?;\n        Ok({name} {{\n"
             ));
-            for f in &fields {
-                code.push_str(&format!("            {f}: ::serde::json::field(obj, \"{f}\")?,\n"));
+            for (f, skip) in &fields {
+                if *skip {
+                    code.push_str(&format!(
+                        "            {f}: ::std::default::Default::default(),\n"
+                    ));
+                } else {
+                    code.push_str(&format!(
+                        "            {f}: ::serde::json::field(obj, \"{f}\")?,\n"
+                    ));
+                }
             }
             code.push_str("        })\n    }\n}\n");
         }
