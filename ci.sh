@@ -30,4 +30,11 @@ cargo test --workspace -q
 echo "==> cargo test -p anc-core --features debug-invariants -q"
 cargo test -p anc-core --features debug-invariants -q
 
+echo "==> cluster-cache property suite under debug-invariants"
+# The cache equivalence proptests (cached == cold at every level across
+# mixed update streams) run again here by name so a failure is attributed
+# to the cache layer rather than buried in the full suite's output.
+cargo test -p anc-core --features debug-invariants --test prop_cluster_cache -q
+cargo test -p anc-core --features debug-invariants --test cache_determinism -q
+
 echo "CI OK"

@@ -56,6 +56,8 @@ pub const PANIC_ROOTS: &[&str] = &[
     "AncEngine::local_cluster",
     "AncEngine::local_cluster_power",
     "AncEngine::smallest_cluster",
+    "AncEngine::cluster_all",
+    "AncEngine::cluster_all_cached",
     "Pyramids::on_weight_change",
     "Pyramids::on_weight_change_batch",
     "Pyramids::on_weight_change_serial",

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use anc_core::{cluster, query, ClusterMode, Pyramids};
+use anc_core::{cluster, query, AncConfig, AncEngine, ClusterMode, Pyramids};
 use anc_graph::gen::{planted_partition, PlantedConfig};
 
 fn fixture() -> (anc_graph::Graph, Pyramids) {
@@ -65,5 +65,58 @@ fn bench_local_query(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_extraction, bench_local_query);
+/// Cold recompute vs the incremental cluster-query cache: a pointer hit,
+/// a query right after one activation (dirty-edge repair), and a query
+/// right after a 16-edge batch (grouped repair).
+fn bench_cluster_query(c: &mut Criterion) {
+    let lg = planted_partition(&PlantedConfig::default_for(2000), 11);
+    let cfg = AncConfig { k: 3, rep: 1, ..Default::default() };
+    let mut engine = AncEngine::new(lg.graph, cfg, 11);
+    let m = engine.graph().m() as u32;
+    let mut t = 0.0;
+    for i in 0..200u32 {
+        t += 0.05;
+        engine.activate((i * 13 + 5) % m, t);
+    }
+    let level = engine.default_level();
+
+    let mut group = c.benchmark_group("cluster_query");
+    group.sample_size(10);
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            black_box(cluster::cluster_all(
+                engine.graph(),
+                engine.pyramids(),
+                level,
+                ClusterMode::Power,
+            ))
+        })
+    });
+    group.bench_function("cached_hit", |b| {
+        engine.cluster_all_cached(level, ClusterMode::Power);
+        b.iter(|| black_box(engine.cluster_all_cached(level, ClusterMode::Power)))
+    });
+    group.bench_function("cached_post_single_update", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            t += 0.05;
+            engine.activate((i * 7 + 1) % m, t);
+            black_box(engine.cluster_all_cached(level, ClusterMode::Power))
+        })
+    });
+    group.bench_function("cached_post_batch", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            t += 0.05;
+            let batch: Vec<u32> = (0..16u32).map(|j| (i * 31 + j * 7) % m).collect();
+            let _ = engine.activate_batch(&batch, t);
+            black_box(engine.cluster_all_cached(level, ClusterMode::Power))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction, bench_local_query, bench_cluster_query);
 criterion_main!(benches);

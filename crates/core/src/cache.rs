@@ -1,0 +1,781 @@
+//! The incremental cluster-query cache.
+//!
+//! [`crate::cluster::cluster_all`] answers every query cold: it re-evaluates
+//! the voting function `H_l` on all `m` edges against all `k` partitions of
+//! the level and re-runs component extraction from scratch. Yet the bounded
+//! update algorithms (Section V, Algorithms 1–3) already report exactly
+//! which nodes each update touched. [`ClusterCache`] exploits that:
+//!
+//! * per queried level it keeps a packed voted-edge bitset
+//!   ([`crate::vote::EdgeBits`]), the voted-subgraph degree of every node,
+//!   and the extracted [`Clustering`]s (shared as [`Arc`]s, so repeat
+//!   queries are allocation-free);
+//! * the **cold fill** runs the `O(m·k)` voting pass in parallel —
+//!   word-aligned edge ranges fan out over the rayon shim and merge in
+//!   input order, so the bitset is bit-identical for any thread count;
+//! * on every index update, the affected node sets returned by
+//!   [`crate::Pyramids::on_weight_change`]`{,_batch_traced}` are translated
+//!   into **dirty edges** (edges incident to an affected node at that
+//!   level). An edge's vote can only change when an endpoint's seed
+//!   assignment changed in some partition, and every such endpoint is in
+//!   that partition's affected set — so the translation is complete and
+//!   only dirty edges ever need re-voting;
+//! * a query on a dirty level re-votes just the dirty edges and repairs the
+//!   clustering: **even** mode merges on-flips with a union-find over the
+//!   cached labels and falls back to an epoch-tagged rebuild when an edge
+//!   flips *off* (a split cannot be patched locally); **power** mode
+//!   re-grows from the incrementally maintained voted-degree table,
+//!   skipping the voting pass and the degree recount. Past a dirty-fraction
+//!   threshold the level is refilled wholesale (the parallel cold pass is
+//!   then cheaper than per-edge repair).
+//!
+//! Reads are snapshot-consistent: [`QueryStats::generation`] advances with
+//! every index-mutating update, so two queries returning the same
+//! generation saw the same logical index state (and in fact share the same
+//! `Arc`). The cache is deliberately *not* serialized with engine snapshots
+//! — a restored engine starts cold and refills lazily (see
+//! [`crate::persist`]).
+
+use std::sync::Arc;
+
+use anc_graph::{EdgeId, Graph, NodeId};
+use anc_metrics::Clustering;
+use rayon::prelude::*;
+
+use crate::cluster::{even_clustering_with, power_clustering_from_deg, ClusterMode};
+use crate::pyramid::Pyramids;
+use crate::vote::{extend_incident_edges, EdgeBits};
+
+/// Default dirty-fraction past which a query refills the whole level
+/// instead of repairing edge by edge (see
+/// [`ClusterCache::set_dirty_rebuild_fraction`]).
+pub const DIRTY_REBUILD_FRACTION: f64 = 0.25;
+
+/// What a [`ClusterCache::query`] had to do to answer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueryDecision {
+    /// Served entirely from cache: no dirty edges, clustering already
+    /// extracted.
+    #[default]
+    Hit,
+    /// Bitset was current but the requested mode's clustering had not been
+    /// extracted yet (e.g. first `Even` query after `Power` ones).
+    Extract,
+    /// Dirty edges were re-voted and the clustering repaired incrementally.
+    Repair,
+    /// The dirty fraction exceeded the threshold: the level was refilled by
+    /// the parallel cold pass and re-extracted.
+    Rebuild,
+    /// First query of this level since construction or invalidation.
+    ColdFill,
+}
+
+/// Observability record returned by every [`ClusterCache::query`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Cache generation at answer time. Advances with every index-mutating
+    /// update fed to the cache, so two answers with equal generation are
+    /// reads of the same logical index state.
+    pub generation: u64,
+    /// The answered level's rebuild epoch: bumped whenever a cached
+    /// clustering is discarded (rebuild-on-split, threshold rebuild, cold
+    /// fill) rather than incrementally patched.
+    pub epoch: u64,
+    /// Dirty edges pending at this level when the query arrived.
+    pub dirty_edges: usize,
+    /// Edges actually re-voted by this query.
+    pub revoted: usize,
+    /// Re-voted edges whose voting result flipped.
+    pub flips: usize,
+    /// The repair-vs-rebuild decision taken.
+    pub decision: QueryDecision,
+    /// Cumulative queries answered with an already-cached `Arc`.
+    pub hits: u64,
+    /// Cumulative queries that had to (re)extract a clustering.
+    pub misses: u64,
+}
+
+/// Per-level cached state (materialized on first query of the level).
+#[derive(Clone, Debug, Default)]
+struct LevelCache {
+    /// Packed voting results `H_l(e)` for every edge.
+    voted: EdgeBits,
+    /// Edges whose vote may be stale (set ⇔ listed in `dirty_list`).
+    dirty: EdgeBits,
+    dirty_list: Vec<EdgeId>,
+    /// Each node's degree in the voted subgraph, maintained at vote flips —
+    /// power extraction re-grows from this without recounting.
+    kept_deg: Vec<u32>,
+    even: Option<Arc<Clustering>>,
+    power: Option<Arc<Clustering>>,
+    epoch: u64,
+}
+
+/// The incremental cluster-query cache (one per [`crate::AncEngine`]).
+///
+/// Not serialized with snapshots: a restored engine constructs an empty
+/// cache and refills it lazily on first query.
+#[derive(Debug, Default)]
+pub struct ClusterCache {
+    levels: usize,
+    per_level: Vec<Option<Box<LevelCache>>>,
+    generation: u64,
+    hits: u64,
+    misses: u64,
+    dirty_rebuild_fraction: f64,
+    /// Pooled worker output buffers for the parallel voting pass.
+    word_pool: Vec<Vec<u64>>,
+    /// `collect_into_vec` target for the parallel voting pass (persists so
+    /// repeated fills reuse one buffer).
+    chunk_out: Vec<Vec<u64>>,
+    /// Scratch for the affected-set → dirty-edge translation.
+    edge_scratch: Vec<EdgeId>,
+    /// Extraction scratch (rank order, DFS stack, labels, union-find).
+    order_buf: Vec<NodeId>,
+    stack_buf: Vec<NodeId>,
+    label_buf: Vec<u32>,
+    uf_buf: Vec<u32>,
+    flip_buf: Vec<EdgeId>,
+}
+
+impl ClusterCache {
+    /// An empty cache for an index with `levels` granularity levels.
+    pub fn new(levels: usize) -> Self {
+        let mut per_level = Vec::with_capacity(levels);
+        per_level.resize_with(levels, || None);
+        Self {
+            levels,
+            per_level,
+            dirty_rebuild_fraction: DIRTY_REBUILD_FRACTION,
+            ..Default::default()
+        }
+    }
+
+    /// Number of levels covered.
+    pub fn num_levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Current generation (see [`QueryStats::generation`]).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Cumulative queries served from an already-cached `Arc`.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cumulative queries that had to (re)extract a clustering.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Whether any level has been materialized — when false, updates need
+    /// no affected-set collection at all.
+    pub fn has_materialized_levels(&self) -> bool {
+        self.per_level.iter().any(|l| l.is_some())
+    }
+
+    /// Whether `level` currently holds a materialized voted-edge bitset.
+    pub fn is_materialized(&self, level: usize) -> bool {
+        self.per_level.get(level).is_some_and(|l| l.is_some())
+    }
+
+    /// Dirty edges pending at `level` (`None` if not materialized).
+    pub fn dirty_count(&self, level: usize) -> Option<usize> {
+        self.per_level.get(level).and_then(|l| l.as_ref()).map(|lc| lc.dirty_list.len())
+    }
+
+    /// The rebuild epoch of `level` (`None` if not materialized).
+    pub fn level_epoch(&self, level: usize) -> Option<u64> {
+        self.per_level.get(level).and_then(|l| l.as_ref()).map(|lc| lc.epoch)
+    }
+
+    /// The materialized voted-edge bitset of `level`, if any. Entries marked
+    /// dirty may be stale; everything else equals the live voting function.
+    pub fn voted_bits(&self, level: usize) -> Option<&EdgeBits> {
+        self.per_level.get(level).and_then(|l| l.as_ref()).map(|lc| &lc.voted)
+    }
+
+    /// The dirty-edge bitset of `level`, if materialized (set bits are
+    /// pending re-votes).
+    pub fn dirty_bits(&self, level: usize) -> Option<&EdgeBits> {
+        self.per_level.get(level).and_then(|l| l.as_ref()).map(|lc| &lc.dirty)
+    }
+
+    /// The maintained voted-subgraph degree table of `level`, if
+    /// materialized.
+    pub fn voted_degrees(&self, level: usize) -> Option<&[u32]> {
+        self.per_level.get(level).and_then(|l| l.as_ref()).map(|lc| lc.kept_deg.as_slice())
+    }
+
+    /// The cached clustering of `(level, mode)` if it is currently
+    /// extracted (shares the `Arc` queries return).
+    pub fn cached(&self, level: usize, mode: ClusterMode) -> Option<Arc<Clustering>> {
+        let lc = self.per_level.get(level).and_then(|l| l.as_ref())?;
+        match mode {
+            ClusterMode::Even => lc.even.clone(),
+            ClusterMode::Power => lc.power.clone(),
+        }
+    }
+
+    /// Overrides the dirty-fraction threshold above which a query refills
+    /// the level wholesale instead of repairing per edge (default
+    /// [`DIRTY_REBUILD_FRACTION`]). Values ≥ 1 disable threshold rebuilds;
+    /// 0 forces every repair to rebuild.
+    pub fn set_dirty_rebuild_fraction(&mut self, fraction: f64) {
+        self.dirty_rebuild_fraction = fraction.max(0.0);
+    }
+
+    /// Records index updates applied without affected-set tracing (legal
+    /// only while nothing is materialized — there is no cached state to
+    /// dirty, but reads must still observe a new generation).
+    pub fn note_untracked_updates(&mut self) {
+        self.generation += 1;
+    }
+
+    /// Drops every materialized level (the index was rebuilt from scratch,
+    /// so per-edge dirty tracking has no baseline to repair from) and
+    /// advances the generation.
+    pub fn invalidate_all(&mut self) {
+        self.generation += 1;
+        for slot in self.per_level.iter_mut() {
+            *slot = None;
+        }
+    }
+
+    /// Feeds one update's affected-node sets (pyramid-major partition
+    /// order, as returned by [`Pyramids::on_weight_change`] or filled by
+    /// [`Pyramids::on_weight_change_batch_traced`]) and marks the edges
+    /// incident to them dirty at their level. Advances the generation iff
+    /// any set is non-empty — a pure-noop batch leaves the cache untouched.
+    ///
+    /// Hot-path cost: `O(Σ deg)` over the affected nodes of materialized
+    /// levels, allocation-free after warm-up.
+    pub fn note_affected(&mut self, g: &Graph, affected: &[Vec<NodeId>]) {
+        if affected.iter().all(|a| a.is_empty()) {
+            return;
+        }
+        self.generation += 1;
+        if !self.has_materialized_levels() {
+            return;
+        }
+        let levels = self.levels;
+        let mut buf = std::mem::take(&mut self.edge_scratch);
+        for (slot, nodes) in affected.iter().enumerate() {
+            if nodes.is_empty() {
+                continue;
+            }
+            let Some(Some(lc)) = self.per_level.get_mut(slot % levels) else {
+                continue;
+            };
+            buf.clear();
+            extend_incident_edges(g, nodes, &mut buf);
+            for &e in &buf {
+                if !lc.dirty.get(e) {
+                    lc.dirty.set(e, true);
+                    lc.dirty_list.push(e);
+                }
+            }
+        }
+        self.edge_scratch = buf;
+    }
+
+    /// Answers `cluster_all(level, mode)` from the cache, repairing or
+    /// (re)filling as needed. The returned `Arc` is shared with the cache —
+    /// repeat queries at the same generation return the same allocation.
+    pub fn query(
+        &mut self,
+        g: &Graph,
+        pyr: &Pyramids,
+        level: usize,
+        mode: ClusterMode,
+    ) -> (Arc<Clustering>, QueryStats) {
+        let mut stats = QueryStats { generation: self.generation, ..Default::default() };
+        let mut lc = match self.per_level[level].take() {
+            Some(lc) => {
+                stats.dirty_edges = lc.dirty_list.len();
+                lc
+            }
+            None => {
+                stats.decision = QueryDecision::ColdFill;
+                Box::default()
+            }
+        };
+
+        if stats.decision == QueryDecision::ColdFill {
+            self.fill_level(g, pyr, level, &mut lc);
+            lc.epoch += 1;
+        } else if !lc.dirty_list.is_empty() {
+            let threshold = (self.dirty_rebuild_fraction * g.m() as f64).floor() as usize;
+            if lc.dirty_list.len() > threshold {
+                stats.decision = QueryDecision::Rebuild;
+                stats.revoted = g.m();
+                self.fill_level(g, pyr, level, &mut lc);
+                lc.epoch += 1;
+                lc.even = None;
+                lc.power = None;
+            } else {
+                stats.decision = QueryDecision::Repair;
+                self.repair_level(g, pyr, level, &mut lc, &mut stats);
+            }
+        }
+
+        let had_cached = match mode {
+            ClusterMode::Even => lc.even.is_some(),
+            ClusterMode::Power => lc.power.is_some(),
+        };
+        if had_cached {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            if stats.decision == QueryDecision::Hit {
+                stats.decision = QueryDecision::Extract;
+            }
+        }
+        let clustering = self.extract(g, &mut lc, mode);
+
+        stats.epoch = lc.epoch;
+        stats.hits = self.hits;
+        stats.misses = self.misses;
+        self.per_level[level] = Some(lc);
+        (clustering, stats)
+    }
+
+    /// Re-votes exactly the dirty edges and repairs the cached clusterings:
+    /// no flips keeps both `Arc`s; on-flips merge the even clustering via
+    /// union-find; any off-flip discards it (rebuild-on-split, epoch bump);
+    /// any flip invalidates the power clustering, which re-grows from the
+    /// maintained `kept_deg` on demand (skipping the voting pass).
+    fn repair_level(
+        &mut self,
+        g: &Graph,
+        pyr: &Pyramids,
+        level: usize,
+        lc: &mut LevelCache,
+        stats: &mut QueryStats,
+    ) {
+        self.flip_buf.clear();
+        let mut any_off = false;
+        for &e in &lc.dirty_list {
+            lc.dirty.set(e, false);
+            let (u, v) = g.endpoints(e);
+            let now = pyr.same_cluster(u, v, level);
+            stats.revoted += 1;
+            if now != lc.voted.get(e) {
+                lc.voted.set(e, now);
+                stats.flips += 1;
+                if now {
+                    lc.kept_deg[u as usize] += 1;
+                    lc.kept_deg[v as usize] += 1;
+                    self.flip_buf.push(e);
+                } else {
+                    lc.kept_deg[u as usize] -= 1;
+                    lc.kept_deg[v as usize] -= 1;
+                    any_off = true;
+                }
+            }
+        }
+        lc.dirty_list.clear();
+        if stats.flips == 0 {
+            return;
+        }
+        // Power rank order depends on every kept degree; drop and re-grow
+        // lazily from the maintained table.
+        lc.power = None;
+        if any_off {
+            // An off-flip can split a component; components cannot be
+            // patched locally, so the even clustering rebuilds from the
+            // (repaired) bitset on demand.
+            lc.even = None;
+            lc.epoch += 1;
+        } else if let Some(old) = lc.even.take() {
+            lc.even = Some(Arc::new(merge_even_on_flips(
+                g,
+                &old,
+                &self.flip_buf,
+                &mut self.uf_buf,
+                &mut self.label_buf,
+            )));
+        }
+    }
+
+    /// The parallel cold voting pass: word-aligned edge ranges fan out over
+    /// the rayon shim (`par_chunks` semantics via owned (start, buffer)
+    /// tasks), merge in input order into the packed bitset, and the voted
+    /// degrees are recounted serially — bit-identical for any
+    /// `RAYON_NUM_THREADS`.
+    fn fill_level(&mut self, g: &Graph, pyr: &Pyramids, level: usize, lc: &mut LevelCache) {
+        let m = g.m();
+        let words_len = m.div_ceil(64);
+        lc.voted = EdgeBits::with_len(m);
+        lc.dirty = EdgeBits::with_len(m);
+        lc.dirty_list.clear();
+        if words_len > 0 {
+            let workers = rayon::current_num_threads().clamp(1, words_len);
+            let chunk_words = words_len.div_ceil(workers);
+            let n_chunks = words_len.div_ceil(chunk_words);
+            let mut bufs = std::mem::take(&mut self.word_pool);
+            bufs.truncate(n_chunks);
+            while bufs.len() < n_chunks {
+                bufs.push(Vec::with_capacity(chunk_words));
+            }
+            let tasks: Vec<(usize, Vec<u64>)> =
+                bufs.into_iter().enumerate().map(|(i, b)| (i * chunk_words, b)).collect();
+            tasks
+                .into_par_iter()
+                .map(|(start, mut buf)| {
+                    buf.clear();
+                    let end = (start + chunk_words).min(words_len);
+                    for wi in start..end {
+                        let base = wi * 64;
+                        let mut word = 0u64;
+                        for bit in 0..(m - base).min(64) {
+                            let e = (base + bit) as EdgeId;
+                            let (u, v) = g.endpoints(e);
+                            if pyr.same_cluster(u, v, level) {
+                                word |= 1u64 << bit;
+                            }
+                        }
+                        buf.push(word);
+                    }
+                    buf
+                })
+                .collect_into_vec(&mut self.chunk_out);
+            let words = lc.voted.words_mut();
+            let mut at = 0;
+            for chunk in self.chunk_out.drain(..) {
+                words[at..at + chunk.len()].copy_from_slice(&chunk);
+                at += chunk.len();
+                self.word_pool.push(chunk);
+            }
+        }
+        lc.kept_deg.clear();
+        lc.kept_deg.resize(g.n(), 0);
+        for (e, u, v) in g.iter_edges() {
+            if lc.voted.get(e) {
+                lc.kept_deg[u as usize] += 1;
+                lc.kept_deg[v as usize] += 1;
+            }
+        }
+        lc.even = None;
+        lc.power = None;
+    }
+
+    /// Returns the requested mode's clustering, extracting it from the
+    /// bitset if not cached (even: filtered components; power: re-grow from
+    /// the maintained `kept_deg`, no voting pass).
+    fn extract(&mut self, g: &Graph, lc: &mut LevelCache, mode: ClusterMode) -> Arc<Clustering> {
+        match mode {
+            ClusterMode::Even => {
+                if let Some(c) = &lc.even {
+                    return c.clone();
+                }
+                let c = Arc::new(even_clustering_with(g, |e| lc.voted.get(e)));
+                lc.even = Some(c.clone());
+                c
+            }
+            ClusterMode::Power => {
+                if let Some(c) = &lc.power {
+                    return c.clone();
+                }
+                let voted = &lc.voted;
+                let c = Arc::new(power_clustering_from_deg(
+                    g,
+                    |e| voted.get(e),
+                    &lc.kept_deg,
+                    &mut self.order_buf,
+                    &mut self.stack_buf,
+                    &mut self.label_buf,
+                ));
+                lc.power = Some(c.clone());
+                c
+            }
+        }
+    }
+}
+
+/// Merges an even clustering with a set of newly voted-in edges: union-find
+/// over the cached cluster ids, then canonical relabeling. Exactly the
+/// connected components of the old components plus the new edges — valid
+/// only when no edge flipped *off*.
+fn merge_even_on_flips(
+    g: &Graph,
+    old: &Clustering,
+    on_edges: &[EdgeId],
+    uf: &mut Vec<u32>,
+    labels: &mut Vec<u32>,
+) -> Clustering {
+    uf.clear();
+    uf.extend(0..old.num_clusters() as u32);
+    for &e in on_edges {
+        let (u, v) = g.endpoints(e);
+        let (a, b) = (uf_find(uf, old.label(u)), uf_find(uf, old.label(v)));
+        if a != b {
+            uf[a.max(b) as usize] = a.min(b);
+        }
+    }
+    labels.clear();
+    labels.extend((0..g.n() as NodeId).map(|v| uf_find(uf, old.label(v))));
+    Clustering::from_labels(labels)
+}
+
+/// Union-find root with path halving.
+#[inline]
+fn uf_find(uf: &mut [u32], mut x: u32) -> u32 {
+    while uf[x as usize] != x {
+        uf[x as usize] = uf[uf[x as usize] as usize];
+        x = uf[x as usize];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::cluster_all;
+    use anc_graph::gen::{connected_caveman, paper_figure2};
+
+    fn fixture() -> (Graph, Vec<f64>, Pyramids) {
+        let lg = connected_caveman(4, 5);
+        let g = lg.graph;
+        let w: Vec<f64> = g
+            .iter_edges()
+            .map(|(_, u, v)| if lg.labels[u as usize] == lg.labels[v as usize] { 0.3 } else { 9.0 })
+            .collect();
+        let pyr = Pyramids::build(&g, &w, 3, 0.7, 13);
+        (g, w, pyr)
+    }
+
+    #[test]
+    fn cold_fill_matches_cold_recompute_everywhere() {
+        let (g, _, pyr) = fixture();
+        let mut cache = ClusterCache::new(pyr.num_levels());
+        for level in 0..pyr.num_levels() {
+            for mode in [ClusterMode::Even, ClusterMode::Power] {
+                let (c, stats) = cache.query(&g, &pyr, level, mode);
+                assert_eq!(*c, cluster_all(&g, &pyr, level, mode), "level {level} {mode:?}");
+                assert!(matches!(stats.decision, QueryDecision::ColdFill | QueryDecision::Extract));
+            }
+        }
+    }
+
+    #[test]
+    fn repeat_query_is_a_pointer_hit() {
+        let (g, _, pyr) = fixture();
+        let mut cache = ClusterCache::new(pyr.num_levels());
+        let l = pyr.default_level();
+        let (a, s0) = cache.query(&g, &pyr, l, ClusterMode::Power);
+        let (b, s1) = cache.query(&g, &pyr, l, ClusterMode::Power);
+        assert!(Arc::ptr_eq(&a, &b), "repeat query must share the Arc");
+        assert_eq!(s1.decision, QueryDecision::Hit);
+        assert_eq!(s1.generation, s0.generation);
+        assert_eq!(s1.hits, s0.hits + 1);
+    }
+
+    #[test]
+    fn dirty_translation_repairs_to_cold_truth() {
+        let (g, mut w, mut pyr) = fixture();
+        let mut cache = ClusterCache::new(pyr.num_levels());
+        // Warm every level.
+        for level in 0..pyr.num_levels() {
+            cache.query(&g, &pyr, level, ClusterMode::Power);
+            cache.query(&g, &pyr, level, ClusterMode::Even);
+        }
+        let gen0 = cache.generation();
+        // A drastic change: flip a heavy bridge to the lightest weight.
+        for (step, e) in [0u32, 7, 13, 20].into_iter().enumerate() {
+            let old = w[e as usize];
+            w[e as usize] = if step % 2 == 0 { 0.05 } else { old * 20.0 };
+            let affected = pyr.on_weight_change(&g, &w, e, old);
+            cache.note_affected(&g, &affected);
+            for level in 0..pyr.num_levels() {
+                for mode in [ClusterMode::Even, ClusterMode::Power] {
+                    let (c, _) = cache.query(&g, &pyr, level, mode);
+                    assert_eq!(
+                        *c,
+                        cluster_all(&g, &pyr, level, mode),
+                        "step {step} level {level} {mode:?}"
+                    );
+                }
+            }
+        }
+        assert!(cache.generation() > gen0, "index-moving updates must advance the generation");
+    }
+
+    #[test]
+    fn empty_affected_sets_leave_cache_untouched() {
+        let (g, _, pyr) = fixture();
+        let mut cache = ClusterCache::new(pyr.num_levels());
+        let l = pyr.default_level();
+        let (a, _) = cache.query(&g, &pyr, l, ClusterMode::Power);
+        let gen = cache.generation();
+        let empty = vec![Vec::new(); pyr.k() * pyr.num_levels()];
+        cache.note_affected(&g, &empty);
+        assert_eq!(cache.generation(), gen, "noop must not bump the generation");
+        assert_eq!(cache.dirty_count(l), Some(0));
+        let (b, stats) = cache.query(&g, &pyr, l, ClusterMode::Power);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(stats.decision, QueryDecision::Hit);
+    }
+
+    /// Satellite regression: a batch in which every delta is short-circuited
+    /// by the exact no-op precheck must leave the cache completely untouched
+    /// — no generation bump, no dirty edges, same `Arc` on re-query.
+    #[test]
+    fn pure_noop_batch_marks_nothing_dirty() {
+        // Triangle with one overpriced edge: a–c can never be a shortest-path
+        // tree edge in any partition (the 2-hop detour always wins), so a
+        // weight *increase* on it is inert in every partition by the
+        // `noop_weight_change` precheck — deterministically, for any seeds.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let e = g.edge_id(0, 2).expect("triangle edge");
+        let mut w = vec![1.0; g.m()];
+        w[e as usize] = 10.0;
+        let mut pyr = Pyramids::build(&g, &w, 3, 0.7, 5);
+        let mut cache = ClusterCache::new(pyr.num_levels());
+        let l = pyr.default_level();
+        let (before, _) = cache.query(&g, &pyr, l, ClusterMode::Power);
+        let gen = cache.generation();
+        let (old, new_w) = (10.0, 40.0);
+        w[e as usize] = new_w;
+        for p in 0..pyr.k() {
+            for lv in 0..pyr.num_levels() {
+                assert!(
+                    pyr.partition(p, lv).noop_weight_change(&g, &w, e, old),
+                    "overpriced triangle edge must be inert in every partition"
+                );
+            }
+        }
+        let mut traces = vec![Vec::new(); pyr.k() * pyr.num_levels()];
+        let rs = pyr.on_weight_change_batch_traced(&g, &w, &[(e, old, new_w)], &mut traces);
+        assert_eq!(rs.updates, 0, "every partition must skip the inert delta");
+        assert!(traces.iter().all(|t| t.is_empty()), "noop trace must be empty");
+        cache.note_affected(&g, &traces);
+        assert_eq!(cache.generation(), gen, "pure-noop batch must not bump the generation");
+        assert_eq!(cache.dirty_count(l), Some(0));
+        let (after, stats) = cache.query(&g, &pyr, l, ClusterMode::Power);
+        assert!(Arc::ptr_eq(&before, &after), "clustering pointer must be unchanged");
+        assert_eq!(stats.decision, QueryDecision::Hit);
+    }
+
+    #[test]
+    fn traced_batch_repair_feeds_equivalent_dirty_sets() {
+        // The grouped traced repair must leave the cache equivalent to cold
+        // recomputation, exactly like the per-update path.
+        let (g, mut w, mut pyr) = fixture();
+        let mut cache = ClusterCache::new(pyr.num_levels());
+        for level in 0..pyr.num_levels() {
+            cache.query(&g, &pyr, level, ClusterMode::Even);
+            cache.query(&g, &pyr, level, ClusterMode::Power);
+        }
+        let mut traces = vec![Vec::new(); pyr.k() * pyr.num_levels()];
+        let mut deltas = Vec::new();
+        for (step, e) in [2u32, 9, 17, 4].into_iter().enumerate() {
+            let old = w[e as usize];
+            let new_w = if step % 2 == 0 { old * 0.1 } else { old * 8.0 };
+            w[e as usize] = new_w;
+            deltas.push((e, old, new_w));
+        }
+        let _ = pyr.on_weight_change_batch_traced(&g, &w, &deltas, &mut traces);
+        cache.note_affected(&g, &traces);
+        for level in 0..pyr.num_levels() {
+            for mode in [ClusterMode::Even, ClusterMode::Power] {
+                let (c, _) = cache.query(&g, &pyr, level, mode);
+                assert_eq!(*c, cluster_all(&g, &pyr, level, mode), "level {level} {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_zero_forces_rebuild_and_stays_correct() {
+        let (g, mut w, mut pyr) = fixture();
+        let mut cache = ClusterCache::new(pyr.num_levels());
+        cache.set_dirty_rebuild_fraction(0.0);
+        let l = pyr.num_levels() - 1;
+        cache.query(&g, &pyr, l, ClusterMode::Power);
+        let epoch0 = cache.level_epoch(l).expect("materialized");
+        let e = 3u32;
+        let old = w[e as usize];
+        w[e as usize] = 0.01;
+        let affected = pyr.on_weight_change(&g, &w, e, old);
+        cache.note_affected(&g, &affected);
+        if cache.dirty_count(l) == Some(0) {
+            return; // change didn't reach this level; nothing to assert
+        }
+        let (c, stats) = cache.query(&g, &pyr, l, ClusterMode::Power);
+        assert_eq!(stats.decision, QueryDecision::Rebuild);
+        assert!(stats.epoch > epoch0, "rebuild must advance the epoch");
+        assert_eq!(*c, cluster_all(&g, &pyr, l, ClusterMode::Power));
+    }
+
+    #[test]
+    fn invalidate_drops_all_levels() {
+        let (g, _, pyr) = fixture();
+        let mut cache = ClusterCache::new(pyr.num_levels());
+        cache.query(&g, &pyr, 0, ClusterMode::Even);
+        assert!(cache.has_materialized_levels());
+        let gen = cache.generation();
+        cache.invalidate_all();
+        assert!(!cache.has_materialized_levels());
+        assert!(cache.generation() > gen);
+        let (c, stats) = cache.query(&g, &pyr, 0, ClusterMode::Even);
+        assert_eq!(stats.decision, QueryDecision::ColdFill);
+        assert_eq!(*c, cluster_all(&g, &pyr, 0, ClusterMode::Even));
+    }
+
+    #[test]
+    fn merge_even_unions_components() {
+        // 0-1  2-3  plus a new edge 1-2 merging the two components.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let old = Clustering::from_labels(&[0, 0, 1, 1]);
+        let e12 = g.edge_id(1, 2).expect("edge");
+        let (mut uf, mut labels) = (Vec::new(), Vec::new());
+        let merged = merge_even_on_flips(&g, &old, &[e12], &mut uf, &mut labels);
+        assert_eq!(merged.num_clusters(), 1);
+    }
+
+    #[test]
+    fn tiny_graphs_do_not_panic() {
+        for (n, edges) in [(1usize, vec![]), (2, vec![(0u32, 1u32)]), (0, vec![])] {
+            let g = Graph::from_edges(n, &edges);
+            let w = vec![1.0; g.m()];
+            if n == 0 {
+                // Pyramids::build requires n ≥ 1 seeds per level; skip.
+                continue;
+            }
+            let pyr = Pyramids::build(&g, &w, 2, 0.7, 1);
+            let mut cache = ClusterCache::new(pyr.num_levels());
+            for mode in [ClusterMode::Even, ClusterMode::Power] {
+                let (c, _) = cache.query(&g, &pyr, 0, mode);
+                assert_eq!(*c, cluster_all(&g, &pyr, 0, mode));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_figure_stream_stays_equivalent() {
+        let (g, mut w) = paper_figure2();
+        let mut pyr = Pyramids::build(&g, &w, 2, 0.7, 42);
+        let mut cache = ClusterCache::new(pyr.num_levels());
+        for level in 0..pyr.num_levels() {
+            cache.query(&g, &pyr, level, ClusterMode::Even);
+        }
+        let changes: &[(u32, u32, f64)] =
+            &[(5, 6, 0.5), (1, 3, 9.0), (7, 8, 0.1), (7, 8, 12.0), (9, 10, 1.0)];
+        for &(a, b, new_w) in changes {
+            let e = g.edge_id(a - 1, b - 1).expect("paper edge");
+            let old = w[e as usize];
+            w[e as usize] = new_w;
+            let affected = pyr.on_weight_change(&g, &w, e, old);
+            cache.note_affected(&g, &affected);
+            for level in 0..pyr.num_levels() {
+                for mode in [ClusterMode::Even, ClusterMode::Power] {
+                    let (c, _) = cache.query(&g, &pyr, level, mode);
+                    assert_eq!(*c, cluster_all(&g, &pyr, level, mode), "({a},{b}) → {new_w}");
+                }
+            }
+        }
+    }
+}

@@ -66,7 +66,26 @@ pub fn power_clustering_with<F: Fn(EdgeId) -> bool>(g: &Graph, keep: F) -> Clust
             kept_deg[v as usize] += 1;
         }
     }
-    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    let (mut order, mut stack, mut label) = (Vec::new(), Vec::new(), Vec::new());
+    power_clustering_from_deg(g, keep, &kept_deg, &mut order, &mut stack, &mut label)
+}
+
+/// Power clustering over a *precomputed* kept-degree table, with
+/// caller-owned scratch (rank order, DFS stack, label array) so the cluster
+/// cache can re-grow a level without reallocating or re-counting degrees it
+/// maintains incrementally. `kept_deg[v]` must equal `v`'s degree in the
+/// kept subgraph.
+pub(crate) fn power_clustering_from_deg<F: Fn(EdgeId) -> bool>(
+    g: &Graph,
+    keep: F,
+    kept_deg: &[u32],
+    order: &mut Vec<NodeId>,
+    stack: &mut Vec<NodeId>,
+    label: &mut Vec<u32>,
+) -> Clustering {
+    let n = g.n();
+    order.clear();
+    order.extend(0..n as NodeId);
     order.sort_unstable_by(|&a, &b| {
         kept_deg[b as usize].cmp(&kept_deg[a as usize]).then_with(|| a.cmp(&b))
     });
@@ -76,10 +95,11 @@ pub fn power_clustering_with<F: Fn(EdgeId) -> bool>(g: &Graph, keep: F) -> Clust
         da > db || (da == db && a < b)
     };
 
-    let mut label = vec![NOISE; n];
+    label.clear();
+    label.resize(n, NOISE);
     let mut next = 0u32;
-    let mut stack = Vec::new();
-    for &v in &order {
+    stack.clear();
+    for &v in order.iter() {
         if label[v as usize] != NOISE {
             continue;
         }
@@ -95,7 +115,7 @@ pub fn power_clustering_with<F: Fn(EdgeId) -> bool>(g: &Graph, keep: F) -> Clust
         }
         next += 1;
     }
-    Clustering::from_labels(&label)
+    Clustering::from_labels(label)
 }
 
 #[cfg(test)]

@@ -21,6 +21,8 @@
 //! pyramid distances absorb `1/g` (NegM, Lemma 10). The rescale never
 //! changes any comparison outcome, so the index structure is untouched.
 
+use std::cell::RefCell;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use anc_decay::{ActivenessStore, DecayClock, MaintainClass, Rescalable, Time};
@@ -28,6 +30,7 @@ use anc_graph::{EdgeId, Graph, NodeId};
 use anc_metrics::Clustering;
 use rayon::prelude::*;
 
+use crate::cache::{ClusterCache, QueryStats};
 use crate::cluster::{cluster_all, ClusterMode};
 use crate::config::{AncConfig, BatchMode};
 use crate::invariant::{self, InvariantViolation};
@@ -114,6 +117,13 @@ pub struct AncEngine {
     activations: u64,
     /// Total batched rescales performed.
     rescales: u64,
+    /// The incremental cluster-query cache (interior mutability so
+    /// `&self` queries can repair lazily; never borrowed across a call
+    /// boundary, so the `RefCell` cannot be observed locked).
+    cache: RefCell<ClusterCache>,
+    /// Pooled per-partition affected-set buffers for the traced grouped
+    /// repair (filled only while the cache has materialized levels).
+    trace_bufs: Vec<Vec<NodeId>>,
 }
 
 /// An offline (ANCF) snapshot: a freshly initialized similarity and index
@@ -161,6 +171,7 @@ impl AncEngine {
         let pyramids = Pyramids::build(&g, &recip, cfg.k, cfg.theta, seed);
         let sim_sum = sim.iter().sum();
         let sigma_pool = ScratchPool::new(g.n());
+        let cache = RefCell::new(ClusterCache::new(pyramids.num_levels()));
         Self {
             g,
             cfg,
@@ -179,6 +190,8 @@ impl AncEngine {
             sim_sum,
             activations: 0,
             rescales: 0,
+            cache,
+            trace_bufs: Vec::new(),
         }
     }
 
@@ -307,11 +320,13 @@ impl AncEngine {
         if out.new_sim != out.old_sim {
             let old_w = self.recip[e as usize];
             self.recip[e as usize] = 1.0 / out.new_sim;
-            if self.cfg.parallel_updates {
+            let trace = if self.cfg.parallel_updates {
                 self.pyramids.on_weight_change(&self.g, &self.recip, e, old_w)
             } else {
                 self.pyramids.on_weight_change_serial(&self.g, &self.recip, e, old_w)
-            }
+            };
+            self.cache.get_mut().note_affected(&self.g, &trace);
+            trace
         } else {
             // audit:allow(hot-alloc) -- an empty Vec::new never allocates
             Vec::new()
@@ -532,12 +547,31 @@ impl AncEngine {
     }
 
     /// Feeds the accumulated weight deltas to the index as one grouped
-    /// parallel fan-out and clears the accumulator.
+    /// parallel fan-out and clears the accumulator. While the cluster cache
+    /// has materialized levels the traced variant runs instead, collecting
+    /// per-partition affected sets into pooled buffers so the cache can
+    /// mark its dirty edges.
     fn flush_repairs(&mut self, deltas: &mut Vec<(EdgeId, f64, f64)>, stats: &mut BatchStats) {
         if deltas.is_empty() {
             return;
         }
-        let rs = self.pyramids.on_weight_change_batch(&self.g, &self.recip, deltas);
+        let rs = if self.cache.get_mut().has_materialized_levels() {
+            let slots = self.pyramids.k() * self.pyramids.num_levels();
+            if self.trace_bufs.len() < slots {
+                self.trace_bufs.resize_with(slots, || Vec::with_capacity(0));
+            }
+            let rs = self.pyramids.on_weight_change_batch_traced(
+                &self.g,
+                &self.recip,
+                deltas,
+                &mut self.trace_bufs,
+            );
+            self.cache.get_mut().note_affected(&self.g, &self.trace_bufs);
+            rs
+        } else {
+            self.cache.get_mut().note_untracked_updates();
+            self.pyramids.on_weight_change_batch(&self.g, &self.recip, deltas)
+        };
         stats.repair_updates += rs.updates;
         stats.repair_skips += rs.skips;
         deltas.clear();
@@ -644,8 +678,40 @@ impl AncEngine {
     }
 
     /// All clusters at `level` (Problem 1(1)).
+    ///
+    /// Served transparently from the incremental cluster-query cache: the
+    /// first query of a level pays one parallel voting pass, subsequent
+    /// queries only re-vote the edges dirtied by intervening activations
+    /// (see [`crate::ClusterCache`]). Returns an owned clone; use
+    /// [`Self::cluster_all_cached`] to share the cached allocation and read
+    /// the [`QueryStats`].
     pub fn cluster_all(&self, level: usize, mode: ClusterMode) -> Clustering {
-        cluster_all(&self.g, &self.pyramids, level, mode)
+        (*self.cluster_all_cached(level, mode).0).clone()
+    }
+
+    /// [`Self::cluster_all`] without the copy: the returned [`Arc`] is
+    /// shared with the cache (repeat queries at an unchanged generation
+    /// return the same allocation), and the [`QueryStats`] report the
+    /// cache generation, pending dirty edges, and the repair-vs-rebuild
+    /// decision this query took.
+    pub fn cluster_all_cached(
+        &self,
+        level: usize,
+        mode: ClusterMode,
+    ) -> (Arc<Clustering>, QueryStats) {
+        self.cache.borrow_mut().query(&self.g, &self.pyramids, level, mode)
+    }
+
+    /// Read access to the cluster-query cache (observability: generation,
+    /// hit/miss counters, per-level dirty counts and epochs).
+    pub fn cluster_cache(&self) -> std::cell::Ref<'_, ClusterCache> {
+        self.cache.borrow()
+    }
+
+    /// Mutable access to the cluster-query cache (tuning knobs such as
+    /// [`ClusterCache::set_dirty_rebuild_fraction`]).
+    pub fn cluster_cache_mut(&mut self) -> &mut ClusterCache {
+        self.cache.get_mut()
     }
 
     /// The cluster containing `v` at `level` (Problem 1(2)); even-clustering
@@ -710,10 +776,13 @@ impl AncEngine {
     }
 
     /// Rebuilds the engine's own index from its current weights — the
-    /// RECONSTRUCT baseline of Figure 8.
+    /// RECONSTRUCT baseline of Figure 8. Fresh seed draws give per-edge
+    /// dirty tracking no baseline to repair from, so the cluster cache is
+    /// invalidated wholesale and refills lazily.
     pub fn reconstruct_index(&mut self) {
         self.pyramids =
             Pyramids::build(&self.g, &self.recip, self.cfg.k, self.cfg.theta, self.index_seed);
+        self.cache.get_mut().invalidate_all();
     }
 
     /// Captures the complete engine state for checkpointing
@@ -745,6 +814,9 @@ impl AncEngine {
         let recip: Vec<f64> = snapshot.sim.iter().map(|s| 1.0 / s).collect();
         let scratch = Scratch::new(snapshot.graph.n());
         let sigma_pool = ScratchPool::new(snapshot.graph.n());
+        // The cluster cache is never serialized (see `crate::persist`): a
+        // restored engine starts cold and refills lazily on first query.
+        let cache = RefCell::new(ClusterCache::new(snapshot.pyramids.num_levels()));
         Ok(Self {
             g: snapshot.graph,
             cfg: snapshot.config,
@@ -763,6 +835,8 @@ impl AncEngine {
             sim_sum: snapshot.sim_sum,
             activations: snapshot.activations,
             rescales: snapshot.rescales,
+            cache,
+            trace_bufs: Vec::new(),
         })
     }
 
@@ -786,8 +860,9 @@ impl AncEngine {
         invariant::check_similarities(&self.sim)?;
         invariant::check_recip_sync(&self.sim, &self.recip)?;
         self.pyramids.check_invariants(&self.g, &self.recip)?;
-        let c = self.cluster_all(self.default_level(), ClusterMode::Power);
-        invariant::check_clustering(&self.g, &c)
+        let c = cluster_all(&self.g, &self.pyramids, self.default_level(), ClusterMode::Power);
+        invariant::check_clustering(&self.g, &c)?;
+        invariant::check_cluster_cache(&self.g, &self.pyramids, &self.cache.borrow())
     }
 
     /// Batch-boundary hook of the `debug-invariants` feature: panics on the
@@ -1134,6 +1209,64 @@ mod tests {
         let batch2: Vec<u32> = (0..m).step_by(3).collect();
         let stats2 = engine.activate_batch(&batch2, 2.5);
         assert_eq!(stats2.edges_in, batch2.len());
+        engine.check_invariants().unwrap();
+    }
+
+    /// Satellite regression: updates that cannot move any vote — an empty
+    /// batch and a batched rescale (uniform distance scaling preserves every
+    /// seed assignment) — must not bump the cache generation, mark edges
+    /// dirty, or replace the cached clustering allocation.
+    #[test]
+    fn rescale_and_empty_batch_preserve_cache_generation() {
+        let mut engine = engine_fixture(1);
+        let m = engine.graph().m() as u32;
+        for i in 0..30u32 {
+            engine.activate(i % m, 1.0 + i as f64 * 0.1);
+        }
+        let level = engine.default_level();
+        let (before, s0) = engine.cluster_all_cached(level, ClusterMode::Power);
+        let gen = engine.cluster_cache().generation();
+        let _ = engine.activate_batch(&[], 10.0);
+        engine.force_rescale();
+        assert_eq!(engine.cluster_cache().generation(), gen);
+        assert_eq!(engine.cluster_cache().dirty_count(level), Some(0));
+        let (after, s1) = engine.cluster_all_cached(level, ClusterMode::Power);
+        assert!(Arc::ptr_eq(&before, &after), "cached Arc must survive the no-ops");
+        assert_eq!(s1.generation, s0.generation);
+        assert_eq!(s1.decision, crate::cache::QueryDecision::Hit);
+        engine.check_invariants().unwrap();
+    }
+
+    /// Queries served from the cache must track a stream of single, batch,
+    /// and adaptive updates exactly (the engine-level cached ≡ cold bar).
+    #[test]
+    fn cached_queries_track_mixed_update_stream() {
+        let mut engine = engine_fixture(1);
+        let m = engine.graph().m() as u32;
+        let level = engine.default_level();
+        engine.cluster_all_cached(level, ClusterMode::Even);
+        engine.cluster_all_cached(level, ClusterMode::Power);
+        for step in 0..8u32 {
+            let t = 1.0 + step as f64 * 0.4;
+            match step % 3 {
+                0 => {
+                    engine.activate((step * 13 + 1) % m, t);
+                }
+                1 => {
+                    let batch: Vec<u32> = (0..12).map(|i| (i * 5 + step) % m).collect();
+                    let _ = engine.activate_batch(&batch, t);
+                }
+                _ => {
+                    let batch: Vec<u32> = (0..20).map(|i| (i * 3 + step) % m).collect();
+                    let _ = engine.activate_batch_adaptive(&batch, t, Some(10));
+                }
+            }
+            for mode in [ClusterMode::Even, ClusterMode::Power] {
+                let (cached, _) = engine.cluster_all_cached(level, mode);
+                let cold = cluster_all(engine.graph(), engine.pyramids(), level, mode);
+                assert_eq!(*cached, cold, "step {step} {mode:?}");
+            }
+        }
         engine.check_invariants().unwrap();
     }
 

@@ -60,6 +60,10 @@ pub enum InvariantViolation {
     /// An extracted clustering is invalid (wrong arity, non-dense labels,
     /// empty cluster id).
     Clustering(String),
+    /// The incremental cluster-query cache diverged from a cold
+    /// recomputation (stale non-dirty vote bit, drifted voted-degree table,
+    /// or a cached clustering that no longer matches extraction).
+    Cache(String),
 }
 
 impl std::fmt::Display for InvariantViolation {
@@ -73,6 +77,7 @@ impl std::fmt::Display for InvariantViolation {
                 write!(f, "pyramid {pyramid} level {level}: {detail}")
             }
             InvariantViolation::Clustering(msg) => write!(f, "clustering: {msg}"),
+            InvariantViolation::Cache(msg) => write!(f, "cluster cache: {msg}"),
         }
     }
 }
@@ -238,6 +243,67 @@ pub fn check_clustering(g: &Graph, c: &Clustering) -> Result<(), InvariantViolat
     }
     if let Some(empty) = seen.iter().position(|&s| !s) {
         return Err(InvariantViolation::Clustering(format!("cluster id {empty} has no members")));
+    }
+    Ok(())
+}
+
+/// Checks the incremental cluster-query cache against a cold recomputation,
+/// for every materialized level:
+///
+/// * every **non-dirty** vote bit equals the live voting function — this is
+///   the soundness of the affected-set → dirty-edge translation (an edge
+///   the translation did not mark must still hold its true vote);
+/// * the maintained voted-degree table equals a recount from the bitset;
+/// * with no dirty edges pending, every cached clustering equals the cold
+///   extraction [`crate::cluster::cluster_all`] would produce.
+pub fn check_cluster_cache(
+    g: &Graph,
+    pyr: &crate::pyramid::Pyramids,
+    cache: &crate::cache::ClusterCache,
+) -> Result<(), InvariantViolation> {
+    use crate::cluster::{cluster_all, ClusterMode};
+    for level in 0..cache.num_levels() {
+        let (Some(voted), Some(dirty), Some(kept_deg)) =
+            (cache.voted_bits(level), cache.dirty_bits(level), cache.voted_degrees(level))
+        else {
+            continue;
+        };
+        let mut recount = vec![0u32; g.n()];
+        for (e, u, v) in g.iter_edges() {
+            let truth = pyr.same_cluster(u, v, level);
+            if !dirty.get(e) && voted.get(e) != truth {
+                return Err(InvariantViolation::Cache(format!(
+                    "level {level}: non-dirty edge {e} cached vote {} but index says {truth}",
+                    voted.get(e)
+                )));
+            }
+            if voted.get(e) {
+                recount[u as usize] += 1;
+                recount[v as usize] += 1;
+            }
+        }
+        if kept_deg != recount {
+            let v = (0..g.n()).find(|&v| kept_deg[v] != recount[v]).unwrap_or(0);
+            return Err(InvariantViolation::Cache(format!(
+                "level {level}: voted degree of node {v} is {} but bitset recount gives {}",
+                kept_deg[v], recount[v]
+            )));
+        }
+        if cache.dirty_count(level) == Some(0) {
+            for mode in [ClusterMode::Even, ClusterMode::Power] {
+                if let Some(cached) = cache.cached(level, mode) {
+                    let cold = cluster_all(g, pyr, level, mode);
+                    if *cached != cold {
+                        return Err(InvariantViolation::Cache(format!(
+                            "level {level}: cached {mode:?} clustering diverged from cold \
+                             extraction ({} vs {} clusters)",
+                            cached.num_clusters(),
+                            cold.num_clusters()
+                        )));
+                    }
+                }
+            }
+        }
     }
     Ok(())
 }

@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cluster;
 mod config;
 pub mod engine;
@@ -44,6 +45,7 @@ pub mod similarity;
 pub mod voronoi;
 pub mod vote;
 
+pub use cache::{ClusterCache, QueryDecision, QueryStats};
 pub use cluster::ClusterMode;
 pub use config::{AncConfig, BatchMode};
 pub use engine::{AncEngine, BatchStats, OfflineSnapshot};
@@ -51,4 +53,4 @@ pub use invariant::InvariantViolation;
 pub use persist::{EngineSnapshot, RestoreError};
 pub use pyramid::{Pyramids, RepairStats};
 pub use similarity::{NodeType, ScratchPool};
-pub use vote::{ClusterMonitor, VoteCache};
+pub use vote::{ClusterMonitor, EdgeBits, VoteCache};

@@ -10,6 +10,14 @@
 //! The format is serde-generic; [`AncEngine::save_json`] /
 //! [`AncEngine::load_json`] provide a self-describing JSON encoding out of
 //! the box.
+//!
+//! **Derived state is excluded.** The incremental cluster-query cache
+//! ([`crate::ClusterCache`]) is deliberately not part of the snapshot: every
+//! cached bitset and clustering is a pure function of the pyramids, so
+//! serializing it would only duplicate state that can drift. A restored
+//! engine constructs an empty cache and refills it lazily — the first
+//! `cluster_all` per level pays one parallel voting pass and lands on
+//! labels identical to the pre-snapshot engine's.
 
 use anc_decay::{ActivenessStore, DecayClock};
 use anc_graph::Graph;
@@ -184,6 +192,36 @@ mod tests {
         for e in 0..m {
             assert!((live.similarity(e) - restored.similarity(e)).abs() < 1e-12);
         }
+        restored.check_invariants().unwrap();
+    }
+
+    /// The cluster-query cache is not serialized: a restored engine starts
+    /// cold, rebuilds lazily on first query, and converges to the same
+    /// labels and cache behavior as the live engine.
+    #[test]
+    fn restored_engine_rebuilds_cluster_cache_lazily() {
+        let live = streamed_engine();
+        let level = live.default_level();
+        // Warm the live cache so the snapshot is taken from an engine with
+        // materialized levels.
+        let (live_arc, live_stats) = live.cluster_all_cached(level, ClusterMode::Power);
+        assert!(live.cluster_cache().is_materialized(level));
+        let mut buf = Vec::new();
+        live.save_json(&mut buf).unwrap();
+
+        let restored = AncEngine::load_json(buf.as_slice()).unwrap();
+        assert!(
+            !restored.cluster_cache().has_materialized_levels(),
+            "cache must not travel through the snapshot"
+        );
+        let (cold_arc, cold_stats) = restored.cluster_all_cached(level, ClusterMode::Power);
+        assert_eq!(cold_stats.decision, crate::cache::QueryDecision::ColdFill);
+        assert_eq!(*cold_arc, *live_arc, "lazy refill must reproduce the live labels");
+        // Second query is a pointer hit, same as on the live engine.
+        let (again, stats) = restored.cluster_all_cached(level, ClusterMode::Power);
+        assert_eq!(stats.decision, crate::cache::QueryDecision::Hit);
+        assert!(std::sync::Arc::ptr_eq(&cold_arc, &again));
+        let _ = live_stats;
         restored.check_invariants().unwrap();
     }
 

@@ -133,12 +133,14 @@ impl Pyramids {
 
     /// Number of pyramids whose level-`l` partition puts `u` and `v` under
     /// the same seed (the vote count behind `H_l(u, v)`).
+    #[inline]
     pub fn votes(&self, u: NodeId, v: NodeId, l: usize) -> usize {
         (0..self.k).filter(|&p| self.partition(p, l).same_seed(u, v)).count()
     }
 
     /// The voting function `H_l(u, v)` (Section V-B): 1 iff at least `⌈θk⌉`
     /// pyramids agree at level `l`.
+    #[inline]
     pub fn same_cluster(&self, u: NodeId, v: NodeId, l: usize) -> bool {
         // Early exit once the threshold is reached or becomes unreachable.
         let mut have = 0;
@@ -241,6 +243,66 @@ impl Pyramids {
                 a += b;
                 a
             })
+    }
+
+    /// [`Self::on_weight_change_batch`] that additionally records, per
+    /// partition (pyramid-major order), the union of all nodes whose seed
+    /// assignment or distance changed at any point during the batch — the
+    /// input of the cluster cache's affected-set → dirty-edge translation.
+    ///
+    /// `out` must hold one buffer per partition (`k · levels`); each is
+    /// cleared, filled, sorted and deduplicated. The buffers are caller-owned
+    /// so the engine can pool them across batches. The partitions themselves
+    /// end bit-identical to the untraced variant (same per-delta replay).
+    pub fn on_weight_change_batch_traced(
+        &mut self,
+        g: &Graph,
+        weights: &[f64],
+        deltas: &[(EdgeId, f64, f64)],
+        out: &mut [Vec<NodeId>],
+    ) -> RepairStats {
+        debug_assert_eq!(out.len(), self.partitions.len(), "one trace buffer per partition");
+        for o in out.iter_mut() {
+            o.clear();
+        }
+        if deltas.is_empty() {
+            return RepairStats::default();
+        }
+        let workers = rayon::current_num_threads().clamp(1, self.partitions.len());
+        let chunk = self.partitions.len().div_ceil(workers);
+        let stats = self
+            .partitions
+            .par_chunks_mut(chunk)
+            .zip(out.par_chunks_mut(chunk))
+            .map(|(parts, traces)| {
+                // One weight-array clone per worker, rewound between
+                // partitions exactly as in the untraced batch repair.
+                // audit:allow(hot-alloc) -- one weight copy per worker per batch
+                let mut w = weights.to_vec();
+                let mut stats = RepairStats::default();
+                for (p, trace) in parts.iter_mut().zip(traces.iter_mut()) {
+                    for &(e, old_w, _) in deltas.iter().rev() {
+                        w[e as usize] = old_w;
+                    }
+                    for &(e, old_w, new_w) in deltas {
+                        w[e as usize] = new_w;
+                        if p.noop_weight_change(g, &w, e, old_w) {
+                            stats.skips += 1;
+                        } else {
+                            p.on_weight_change_into(g, &w, e, old_w, trace);
+                            stats.updates += 1;
+                        }
+                    }
+                    trace.sort_unstable();
+                    trace.dedup();
+                }
+                stats
+            })
+            .reduce(RepairStats::default, |mut a, b| {
+                a += b;
+                a
+            });
+        stats
     }
 
     /// Serial variant of [`Self::on_weight_change`] (used to measure the

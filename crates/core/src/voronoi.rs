@@ -230,19 +230,36 @@ impl VoronoiPartition {
     /// enabling incremental vote maintenance (the paper's Remarks in
     /// Section V-C).
     pub fn update_decrease(&mut self, g: &Graph, weights: &[f64], e: EdgeId) -> Vec<NodeId> {
+        let mut affected = Vec::new();
+        self.update_decrease_into(g, weights, e, &mut affected);
+        affected.sort_unstable();
+        affected.dedup();
+        affected
+    }
+
+    /// [`Self::update_decrease`] appending into a caller-owned buffer
+    /// (unsorted, may contain duplicates) — lets the grouped batch repair
+    /// accumulate a whole batch's affected union without per-call
+    /// allocation.
+    fn update_decrease_into(
+        &mut self,
+        g: &Graph,
+        weights: &[f64],
+        e: EdgeId,
+        out: &mut Vec<NodeId>,
+    ) {
         let (u, v) = g.endpoints(e);
         let w = weights[e as usize];
-        let mut affected = Vec::new();
         // Pooled frontier, taken out so `self.probe` can borrow mutably.
         let mut q = std::mem::take(&mut self.scratch_heap);
         q.clear();
         if self.probe(u, v, w) {
             q.push(HeapEntry { dist: self.dist[u as usize], node: u });
-            affected.push(u);
+            out.push(u);
         }
         if self.probe(v, u, w) {
             q.push(HeapEntry { dist: self.dist[v as usize], node: v });
-            affected.push(v);
+            out.push(v);
         }
         while let Some(HeapEntry { dist: d, node: x }) = q.pop() {
             if d > self.dist[x as usize] {
@@ -251,14 +268,11 @@ impl VoronoiPartition {
             for (y, e_xy) in g.edges_of(x) {
                 if self.probe(y, x, weights[e_xy as usize]) {
                     q.push(HeapEntry { dist: self.dist[y as usize], node: y });
-                    affected.push(y);
+                    out.push(y);
                 }
             }
         }
         self.scratch_heap = q;
-        affected.sort_unstable();
-        affected.dedup();
-        affected
     }
 
     /// Algorithm 3 (**Update-Increase**): the weight of `e` increased.
@@ -272,6 +286,22 @@ impl VoronoiPartition {
     /// Returns the affected nodes — conservatively, the whole detached
     /// subtree (every member's distance or seed may have changed).
     pub fn update_increase(&mut self, g: &Graph, weights: &[f64], e: EdgeId) -> Vec<NodeId> {
+        let mut subtree = Vec::new();
+        self.update_increase_into(g, weights, e, &mut subtree);
+        subtree.sort_unstable();
+        subtree
+    }
+
+    /// [`Self::update_increase`] appending the detached subtree into a
+    /// caller-owned buffer (unsorted; entries past the incoming length are
+    /// this call's affected nodes).
+    fn update_increase_into(
+        &mut self,
+        g: &Graph,
+        weights: &[f64],
+        e: EdgeId,
+        out: &mut Vec<NodeId>,
+    ) {
         let (u, v) = g.endpoints(e);
         // Locate the tree edge: the child endpoint `o` roots the detached
         // subtree T_o.
@@ -280,18 +310,16 @@ impl VoronoiPartition {
         } else if self.parent[u as usize] == v {
             u
         } else {
-            // audit:allow(hot-alloc) -- empty Vec::new never allocates
-            return Vec::new(); // non-tree edge: no shortest path used it
+            return; // non-tree edge: no shortest path used it
         };
 
-        // Collect T_o (pooled DFS stack; the subtree list itself is the
-        // return value and transfers to the caller).
-        let mut subtree = Vec::new();
+        // Collect T_o (pooled DFS stack; the subtree lands in `out`).
+        let start = out.len();
         let mut stack = std::mem::take(&mut self.scratch_stack);
         stack.clear();
         stack.push(o);
         while let Some(x) = stack.pop() {
-            subtree.push(x);
+            out.push(x);
             stack.extend_from_slice(&self.children[x as usize]);
         }
         self.scratch_stack = stack;
@@ -307,7 +335,7 @@ impl VoronoiPartition {
             }
         }
         let stamp = self.next_stamp();
-        for &x in &subtree {
+        for &x in &out[start..] {
             self.mark[x as usize] = stamp;
             self.dist[x as usize] = f64::INFINITY;
             self.seed_of[x as usize] = NO_NODE;
@@ -319,7 +347,7 @@ impl VoronoiPartition {
         // (pooled frontier, as in `update_decrease`).
         let mut q = std::mem::take(&mut self.scratch_heap);
         q.clear();
-        for &x in &subtree {
+        for &x in &out[start..] {
             for (y, _) in g.edges_of(x) {
                 if self.mark[y as usize] != stamp && self.dist[y as usize].is_finite() {
                     q.push(HeapEntry { dist: self.dist[y as usize], node: y });
@@ -337,8 +365,6 @@ impl VoronoiPartition {
             }
         }
         self.scratch_heap = q;
-        subtree.sort_unstable();
-        subtree
     }
 
     /// Dispatches to [`Self::update_decrease`] / [`Self::update_increase`]
@@ -360,6 +386,26 @@ impl VoronoiPartition {
         } else {
             // audit:allow(hot-alloc) -- an empty Vec::new never allocates
             Vec::new()
+        }
+    }
+
+    /// [`Self::on_weight_change`] appending the affected nodes into a
+    /// caller-owned buffer (unsorted, may contain duplicates) instead of
+    /// allocating a fresh list — the traced batch repair reuses one buffer
+    /// per partition across a whole batch.
+    pub fn on_weight_change_into(
+        &mut self,
+        g: &Graph,
+        weights: &[f64],
+        e: EdgeId,
+        old_w: f64,
+        out: &mut Vec<NodeId>,
+    ) {
+        let new_w = weights[e as usize];
+        if new_w < old_w {
+            self.update_decrease_into(g, weights, e, out);
+        } else if new_w > old_w {
+            self.update_increase_into(g, weights, e, out);
         }
     }
 

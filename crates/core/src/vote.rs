@@ -14,6 +14,85 @@ use anc_graph::{EdgeId, Graph, NodeId};
 
 use crate::pyramid::Pyramids;
 
+/// A packed edge bitset (one bit per [`EdgeId`], 64 edges per word) — the
+/// storage behind the cluster cache's voted-edge and dirty-edge sets.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeBits {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl EdgeBits {
+    /// A bitset over `len` edges, all bits clear.
+    pub fn with_len(len: usize) -> Self {
+        Self { words: vec![0u64; len.div_ceil(64)], len }
+    }
+
+    /// Number of edges covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitset covers zero edges.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit for edge `e`.
+    #[inline]
+    pub fn get(&self, e: EdgeId) -> bool {
+        (self.words[e as usize / 64] >> (e % 64)) & 1 != 0
+    }
+
+    /// Sets the bit for edge `e` to `val`.
+    #[inline]
+    pub fn set(&mut self, e: EdgeId, val: bool) {
+        let w = &mut self.words[e as usize / 64];
+        let mask = 1u64 << (e % 64);
+        if val {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// Clears every bit.
+    pub fn zero(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The backing words (64 edges per word, edge `e` at word `e / 64`, bit
+    /// `e % 64`).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable access to the backing words.
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+}
+
+/// Appends every edge incident to a node in `nodes` to `out` (with
+/// duplicates; callers dedup by sort or bitset). The affected-set →
+/// candidate-edge translation shared by [`VoteCache::apply_update`] and the
+/// cluster cache: an edge's vote at a level can only change when an
+/// endpoint's seed assignment changed in some partition of that level, and
+/// every such endpoint is in that partition's affected set.
+#[inline]
+pub(crate) fn extend_incident_edges(g: &Graph, nodes: &[NodeId], out: &mut Vec<EdgeId>) {
+    for &x in nodes {
+        for (_, e) in g.edges_of(x) {
+            out.push(e);
+        }
+    }
+}
+
 /// A materialized `votes(e, l)` table maintained incrementally.
 #[derive(Clone, Debug)]
 pub struct VoteCache {
@@ -80,12 +159,7 @@ impl VoteCache {
         // Touched levels → set of edges to re-evaluate at that level.
         let mut edges_per_level: Vec<Vec<EdgeId>> = vec![Vec::new(); levels];
         for (slot, nodes) in affected.iter().enumerate() {
-            let l = slot % levels;
-            for &x in nodes {
-                for (_, e) in g.edges_of(x) {
-                    edges_per_level[l].push(e);
-                }
-            }
+            extend_incident_edges(g, nodes, &mut edges_per_level[slot % levels]);
         }
         for (l, level_edges) in edges_per_level.iter_mut().enumerate() {
             level_edges.push(trigger);

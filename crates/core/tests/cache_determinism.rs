@@ -1,0 +1,42 @@
+//! Thread-count determinism of the cluster cache's parallel cold voting
+//! pass: the word-aligned chunks merge in input order, so the packed bitset
+//! — and everything extracted from it — is byte-identical for any
+//! `RAYON_NUM_THREADS`.
+//!
+//! This file holds a single `#[test]` on purpose: it mutates the global
+//! `RAYON_NUM_THREADS` variable, which would race with sibling tests in the
+//! same binary.
+
+use anc_core::{AncConfig, AncEngine, ClusterCache, ClusterMode};
+use anc_graph::gen::connected_caveman;
+
+fn cold_fill_fingerprint(threads: &str) -> Vec<(Vec<u64>, Vec<u32>)> {
+    std::env::set_var("RAYON_NUM_THREADS", threads);
+    let lg = connected_caveman(4, 6);
+    let cfg = AncConfig { rep: 1, mu: 3, epsilon: 0.25, k: 3, ..Default::default() };
+    let mut engine = AncEngine::new(lg.graph, cfg, 42);
+    let m = engine.graph().m() as u32;
+    for i in 0..60u32 {
+        engine.activate((i * 7 + 3) % m, 1.0 + i as f64 * 0.2);
+    }
+    // A standalone cache so every query is a parallel cold fill under the
+    // current thread count.
+    let mut cache = ClusterCache::new(engine.num_levels());
+    let mut out = Vec::new();
+    for level in 0..engine.num_levels() {
+        let (c, _) = cache.query(engine.graph(), engine.pyramids(), level, ClusterMode::Power);
+        let words = cache.voted_bits(level).expect("just filled").words().to_vec();
+        let labels: Vec<u32> = (0..engine.graph().n() as u32).map(|v| c.label(v)).collect();
+        out.push((words, labels));
+    }
+    out
+}
+
+#[test]
+fn cold_fill_is_thread_count_invariant() {
+    let runs: Vec<_> = ["1", "2", "4", "8"].iter().map(|t| cold_fill_fingerprint(t)).collect();
+    std::env::remove_var("RAYON_NUM_THREADS");
+    for (i, run) in runs.iter().enumerate().skip(1) {
+        assert_eq!(&runs[0], run, "cold fill diverged between 1 and {} threads", [1, 2, 4, 8][i]);
+    }
+}
