@@ -37,4 +37,16 @@ echo "==> cluster-cache property suite under debug-invariants"
 cargo test -p anc-core --features debug-invariants --test prop_cluster_cache -q
 cargo test -p anc-core --features debug-invariants --test cache_determinism -q
 
+echo "==> determinism suites under fixed pool sizes (1 and 4 threads)"
+# The determinism tests sweep RAYON_NUM_THREADS internally, but their
+# harness (and every other parallel path they pass through) also runs under
+# whatever the variable says at process start. Two fixed-size passes pin
+# both extremes: the pure sequential path and a real 4-worker pool.
+for t in 1 4; do
+    echo "    RAYON_NUM_THREADS=$t"
+    RAYON_NUM_THREADS=$t cargo test -p rayon -q
+    RAYON_NUM_THREADS=$t cargo test -p anc-core --test batch_determinism \
+        --test cache_determinism --test prop_batch -q
+done
+
 echo "CI OK"

@@ -23,7 +23,13 @@
 //!   outside the `bench` and `cli` crates (seeded `ChaCha` + the logical
 //!   decay clock only).
 //! * `forbid-unsafe` (A4) — every crate root (`src/lib.rs`, `src/main.rs`)
-//!   carries `#![forbid(unsafe_code)]`.
+//!   carries `#![forbid(unsafe_code)]` (or `#![deny(unsafe_code)]` for the
+//!   one crate — the vendored rayon shim — that holds audited exemptions).
+//! * `unsafe-block` (A8) — every `unsafe` token (blocks, `unsafe impl`,
+//!   `unsafe fn`) anywhere in the scanned tree is deny-tier unless it
+//!   carries `// audit:allow(unsafe-block) -- <reason>`; today the only
+//!   allowed sites are the thread pool's lifetime erasure in
+//!   `vendor/rayon/src/pool.rs`.
 //! * `unwrap-budget` (A5) — `.unwrap()`/`.expect(` in non-test `core` code
 //!   is a warn-tier budget ratcheted against a checked-in baseline
 //!   (`crates/audit/baseline_a5.txt`): per-file counts may only decrease.
@@ -79,7 +85,7 @@ pub const BASELINE_A7_PATH: &str = "crates/audit/baseline_a7.txt";
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
     /// Rule id (`hash-iter`, `float-cmp`, `wall-clock`, `forbid-unsafe`,
-    /// `unwrap-budget`, `panic-path`, `hot-alloc`).
+    /// `unsafe-block`, `unwrap-budget`, `panic-path`, `hot-alloc`).
     pub rule: &'static str,
     /// Repo-relative file path.
     pub file: String,
@@ -126,15 +132,20 @@ fn scan_lexed(
     let mut report = FileReport::default();
     let code_lines = &lexed.code_lines;
 
-    // A4 first: crate roots must forbid unsafe. Checked against the lexed
-    // text so a commented-out attribute does not count.
+    // A4 first: crate roots must forbid unsafe (deny is accepted for the
+    // one crate that holds audited A8 exemptions). Checked against the
+    // lexed text so a commented-out attribute does not count.
     let is_crate_root = rel_path.ends_with("src/lib.rs") || rel_path.ends_with("src/main.rs");
-    if is_crate_root && !code_lines.iter().any(|l| l.contains("#![forbid(unsafe_code)]")) {
+    if is_crate_root
+        && !code_lines
+            .iter()
+            .any(|l| l.contains("#![forbid(unsafe_code)]") || l.contains("#![deny(unsafe_code)]"))
+    {
         report.findings.push(Finding {
             rule: "forbid-unsafe",
             file: rel_path.to_string(),
             line: 1,
-            message: "crate root lacks #![forbid(unsafe_code)]".into(),
+            message: "crate root lacks #![forbid(unsafe_code)] (or #![deny(unsafe_code)])".into(),
         });
     }
 
@@ -213,6 +224,20 @@ fn scan_lexed(
                     });
                 }
             }
+        }
+
+        // A8: every `unsafe` token is deny-tier unless individually audited.
+        // Word-boundary matching keeps `unsafe_code` (the A4 lint attribute)
+        // from tripping it.
+        if contains_token(code, "unsafe") && !allowed("unsafe-block", idx) {
+            report.findings.push(Finding {
+                rule: "unsafe-block",
+                file: rel_path.to_string(),
+                line: lineno,
+                message: "`unsafe` requires an individual audit: add \
+                          `// audit:allow(unsafe-block) -- <safety argument>` or remove it"
+                    .into(),
+            });
         }
 
         if unwrap_applies
@@ -425,8 +450,11 @@ pub struct AuditReport {
     pub alloc_sites: Vec<Finding>,
 }
 
-/// Scans every `crates/*/src/**/*.rs` under `root`: line rules per file,
-/// then the workspace call graph for the reachability rules A6/A7.
+/// Scans every `crates/*/src/**/*.rs` under `root` — plus
+/// `vendor/rayon/src` (the thread pool is first-party code in all but
+/// directory; the other vendored crates are dev-only and e.g. criterion
+/// reads wall clocks legitimately) — line rules per file, then the
+/// workspace call graph for the reachability rules A6/A7.
 ///
 /// Directory entries are sorted so the report order is stable across
 /// filesystems.
@@ -440,6 +468,10 @@ pub fn scan_tree(root: &Path) -> std::io::Result<AuditReport> {
         .filter(|p| p.is_dir())
         .collect();
     crate_dirs.sort();
+    let rayon_dir = root.join("vendor").join("rayon");
+    if rayon_dir.is_dir() {
+        crate_dirs.push(rayon_dir);
+    }
     for crate_dir in crate_dirs {
         let crate_name =
             crate_dir.file_name().and_then(|n| n.to_str()).unwrap_or_default().to_string();
@@ -742,6 +774,33 @@ mod tests {
         assert!(scan_source("core", "crates/core/src/other.rs", bare).findings.is_empty());
         let good = "#![forbid(unsafe_code)]\npub fn f() {}\n";
         assert!(scan_source("core", "crates/core/src/lib.rs", good).findings.is_empty());
+    }
+
+    #[test]
+    fn deny_unsafe_code_satisfies_a4() {
+        let deny = "#![deny(unsafe_code)]\npub fn f() {}\n";
+        assert!(scan_source("rayon", "vendor/rayon/src/lib.rs", deny).findings.is_empty());
+    }
+
+    #[test]
+    fn unsafe_tokens_need_an_individual_audit() {
+        let bare = "fn f(p: *const u32) -> u32 {\n    unsafe { *p }\n}\n";
+        let r = scan_source("rayon", "vendor/rayon/src/pool.rs", bare);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].rule, "unsafe-block");
+        assert_eq!(r.findings[0].line, 2);
+        // An impl header counts too.
+        let imp = "unsafe impl Send for T {}\n";
+        assert_eq!(
+            scan_source("core", "crates/core/src/x.rs", imp).findings[0].rule,
+            "unsafe-block"
+        );
+        // A suppression with a reason clears it.
+        let audited = "fn f(p: *const u32) -> u32 {\n    // audit:allow(unsafe-block) -- p valid per caller contract\n    unsafe { *p }\n}\n";
+        assert!(scan_source("rayon", "vendor/rayon/src/pool.rs", audited).findings.is_empty());
+        // The `unsafe_code` lint attribute is not an `unsafe` token.
+        let attr = "#![deny(unsafe_code)]\n#[allow(unsafe_code)]\nmod pool;\npub fn f() {}\n";
+        assert!(scan_source("rayon", "vendor/rayon/src/lib.rs", attr).findings.is_empty());
     }
 
     #[test]

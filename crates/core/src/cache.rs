@@ -413,8 +413,10 @@ impl ClusterCache {
         lc.dirty = EdgeBits::with_len(m);
         lc.dirty_list.clear();
         if words_len > 0 {
-            let workers = rayon::current_num_threads().clamp(1, words_len);
-            let chunk_words = words_len.div_ceil(workers);
+            // Chunks stay word-aligned; oversubscribe (~4× threads) so the
+            // pool's stealing can balance ranges with uneven vote costs.
+            let n_target = rayon::recommended_chunks(words_len);
+            let chunk_words = words_len.div_ceil(n_target);
             let n_chunks = words_len.div_ceil(chunk_words);
             let mut bufs = std::mem::take(&mut self.word_pool);
             bufs.truncate(n_chunks);

@@ -436,8 +436,10 @@ impl AncEngine {
         triggers.dedup();
         stats.sigma_recomputes += triggers.len();
 
-        let workers = rayon::current_num_threads().clamp(1, triggers.len());
-        let chunk_len = triggers.len().div_ceil(workers);
+        // Oversubscribe chunks (~4× threads) so the pool's stealing can
+        // balance triggers with uneven neighborhood sizes.
+        let n_target = rayon::recommended_chunks(triggers.len());
+        let chunk_len = triggers.len().div_ceil(n_target);
         let n_chunks = triggers.len().div_ceil(chunk_len);
         let scratches = self.sigma_pool.take(n_chunks);
         let (epsilon, mu) = (self.cfg.epsilon, self.cfg.mu);

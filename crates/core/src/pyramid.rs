@@ -211,8 +211,11 @@ impl Pyramids {
                 .all(|ok| ok),
             "last delta per edge must match the final weights"
         );
-        let workers = rayon::current_num_threads().clamp(1, self.partitions.len());
-        let chunk = self.partitions.len().div_ceil(workers);
+        // Modest 2× oversubscription only: each chunk task clones the full
+        // weight array, so shattering into many small chunks costs more in
+        // clones than stealing wins back.
+        let n_target = (rayon::current_num_threads() * 2).clamp(1, self.partitions.len());
+        let chunk = self.partitions.len().div_ceil(n_target);
         // Workers fold their counters with `reduce` (addition is commutative
         // and associative, so the result is thread-count independent) rather
         // than collecting a per-chunk Vec on the hot path.
@@ -268,8 +271,10 @@ impl Pyramids {
         if deltas.is_empty() {
             return RepairStats::default();
         }
-        let workers = rayon::current_num_threads().clamp(1, self.partitions.len());
-        let chunk = self.partitions.len().div_ceil(workers);
+        // 2× oversubscription, matching the untraced batch repair: the
+        // per-chunk weight clone dominates finer-grained chunking.
+        let n_target = (rayon::current_num_threads() * 2).clamp(1, self.partitions.len());
+        let chunk = self.partitions.len().div_ceil(n_target);
         let stats = self
             .partitions
             .par_chunks_mut(chunk)
@@ -345,11 +350,11 @@ impl Pyramids {
     }
 
     /// Absorbs a batched rescale into every partition's stored distances
-    /// (multiplier `1/g`; Lemma 10).
+    /// (multiplier `1/g`; Lemma 10). Partitions are independent, and the
+    /// per-partition multiply is elementwise, so the fan-out is trivially
+    /// deterministic.
     pub fn rescale(&mut self, mult: f64) {
-        for p in &mut self.partitions {
-            p.rescale(mult);
-        }
+        self.partitions.par_iter_mut().for_each(|p| p.rescale(mult));
     }
 
     /// Total heap bytes used by the index.

@@ -2,16 +2,20 @@
 //! engine's state is a pure function of (graph, config, seed, stream). The
 //! rayon worker count is **not** an input — the grouped σ recomputation and
 //! index-repair fan-outs split work into contiguous, order-preserving
-//! chunks, so any thread count produces byte-identical snapshots.
+//! chunks, so any thread count produces byte-identical snapshots *and*
+//! cluster extractions, even when the extraction itself runs from inside a
+//! nested `rayon::join` (pool tasks run nested parallel calls inline).
 //!
 //! This file holds a single `#[test]` on purpose: it mutates the global
 //! `RAYON_NUM_THREADS` variable, which would race with sibling tests in the
 //! same binary.
 
-use anc_core::{AncConfig, AncEngine, BatchMode};
+use anc_core::{AncConfig, AncEngine, BatchMode, ClusterCache, ClusterMode};
 use anc_graph::gen::connected_caveman;
 
-fn ingest_snapshot(threads: &str, batch: BatchMode) -> String {
+/// Snapshot JSON plus per-level cluster labels, extracted through a nested
+/// `join` so the sweep exercises parallel-inside-parallel scheduling.
+fn ingest_fingerprint(threads: &str, batch: BatchMode) -> (String, Vec<Vec<u32>>) {
     std::env::set_var("RAYON_NUM_THREADS", threads);
     let lg = connected_caveman(4, 6);
     let cfg = AncConfig {
@@ -31,16 +35,41 @@ fn ingest_snapshot(threads: &str, batch: BatchMode) -> String {
         assert_eq!(stats.edges_in, edges.len());
     }
     engine.check_invariants().unwrap();
-    serde_json::to_string(&engine.to_snapshot()).unwrap()
+    let snapshot = serde_json::to_string(&engine.to_snapshot()).unwrap();
+
+    // Mixed workload: both arms of the join extract clusters on their own
+    // standalone cache (the engine's embedded cache is a RefCell and not
+    // Sync), so each arm's parallel cold fill runs nested inside pool
+    // tasks.
+    let n = engine.graph().n() as u32;
+    let (g, pyr, levels) = (engine.graph(), engine.pyramids(), engine.num_levels());
+    let labels_at = |level: usize, mode: ClusterMode| -> Vec<u32> {
+        let mut cache = ClusterCache::new(levels);
+        let (c, _) = cache.query(g, pyr, level, mode);
+        (0..n).map(|v| c.label(v)).collect()
+    };
+    let mut labels = Vec::new();
+    for level in 0..levels {
+        let (power, even) = rayon::join(
+            || labels_at(level, ClusterMode::Power),
+            || labels_at(level, ClusterMode::Even),
+        );
+        labels.push(power);
+        labels.push(even);
+    }
+    (snapshot, labels)
 }
 
 #[test]
 fn thread_count_never_changes_results() {
     for batch in [BatchMode::Exact, BatchMode::Fused] {
-        let snapshots: Vec<String> =
-            ["1", "2", "8"].iter().map(|t| ingest_snapshot(t, batch)).collect();
+        let runs: Vec<_> =
+            ["1", "2", "4", "8"].iter().map(|t| ingest_fingerprint(t, batch)).collect();
         std::env::remove_var("RAYON_NUM_THREADS");
-        assert_eq!(snapshots[0], snapshots[1], "{batch:?}: 1 vs 2 threads diverged");
-        assert_eq!(snapshots[0], snapshots[2], "{batch:?}: 1 vs 8 threads diverged");
+        for (i, run) in runs.iter().enumerate().skip(1) {
+            let t = ["1", "2", "4", "8"][i];
+            assert_eq!(runs[0].0, run.0, "{batch:?}: snapshot diverged between 1 and {t} threads");
+            assert_eq!(runs[0].1, run.1, "{batch:?}: clusters diverged between 1 and {t} threads");
+        }
     }
 }

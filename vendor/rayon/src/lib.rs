@@ -1,25 +1,63 @@
-//! Offline stand-in for the subset of `rayon` this workspace uses.
+//! Offline stand-in for the subset of `rayon` this workspace uses, backed
+//! by a real work-stealing thread pool ([`pool`], DESIGN.md §10).
 //!
-//! Backed by `std::thread::scope` rather than a persistent work-stealing
-//! pool: each parallel call splits its input into one contiguous chunk per
-//! worker and joins the results **in input order**, so every combinator here
-//! is deterministic regardless of thread count — the property the engine's
-//! batch pipeline documents and tests.
+//! Every combinator splits its input into contiguous, indexed chunk tasks
+//! (oversubscribed ~4× the thread count so stealing can balance uneven
+//! work), runs them on the pool's per-worker deques with the caller
+//! participating, and merges the per-chunk results **in input order** into
+//! pre-assigned slots. Scheduling order is therefore invisible in the
+//! results: every combinator here is deterministic regardless of thread
+//! count — the property the engine's batch pipeline documents and tests.
 //!
-//! The worker count is `RAYON_NUM_THREADS` (re-read on every call, so tests
-//! and benches can vary it at runtime) falling back to
-//! `std::thread::available_parallelism`.
+//! The worker count is a strict parse of `RAYON_NUM_THREADS` (re-read on
+//! every call, so tests and benches can sweep it at runtime; invalid
+//! values are a hard error) falling back to
+//! `std::thread::available_parallelism`. At a target of 1 every combinator
+//! takes a plain sequential path that never touches the pool. Panics
+//! inside parallel closures propagate to the caller (first panic wins) and
+//! the pool stays usable; nested parallel calls from inside pool tasks run
+//! inline and can never deadlock.
 
-/// The number of worker threads parallel calls will use.
+#![deny(unsafe_code)]
+
+use std::sync::Mutex;
+
+#[allow(unsafe_code)]
+mod pool;
+
+/// The number of worker threads parallel calls will use (the thread
+/// target). This is the actual pool size: the pool lazily spawns workers
+/// up to `target - 1` on the next parallel call (the calling thread
+/// itself is the remaining one).
+///
+/// Strict about its input: a set-but-invalid `RAYON_NUM_THREADS` (zero,
+/// garbage, non-numeric) panics with a clear message rather than silently
+/// falling back to all cores.
 pub fn current_num_threads() -> usize {
-    std::env::var("RAYON_NUM_THREADS")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    pool::effective_threads()
+}
+
+/// Recommended number of chunk tasks for `len` independent work items:
+/// enough slack over the thread count (~4×) for the pool's stealing to
+/// balance uneven chunks, without shattering the work into per-item tasks.
+///
+/// Call sites that pre-chunk their input (word-aligned bitset ranges,
+/// pooled per-chunk scratch) should size their chunk count with this.
+pub fn recommended_chunks(len: usize) -> usize {
+    task_count(current_num_threads(), len)
+}
+
+const OVERSUBSCRIBE: usize = 4;
+
+fn task_count(threads: usize, len: usize) -> usize {
+    (threads * OVERSUBSCRIBE).clamp(1, len.max(1))
 }
 
 /// Runs both closures, potentially in parallel, returning both results.
+///
+/// Both closures are queued as chunk tasks; the caller steals back
+/// whatever a worker has not already taken, so a nested `join` from
+/// inside a pool task simply runs inline.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -27,20 +65,34 @@ where
     RA: Send,
     RB: Send,
 {
-    if current_num_threads() <= 1 {
-        return (a(), b());
-    }
-    std::thread::scope(|s| {
-        let hb = s.spawn(b);
+    let threads = current_num_threads();
+    if threads <= 1 || pool::in_parallel_task() {
         let ra = a();
-        (ra, hb.join().expect("rayon-stub: joined closure panicked"))
-    })
+        let rb = b();
+        return (ra, rb);
+    }
+    let fa = Mutex::new(Some(a));
+    let fb = Mutex::new(Some(b));
+    let ra = Mutex::new(None);
+    let rb = Mutex::new(None);
+    pool::run_tasks(threads, 2, |index| {
+        if index == 0 {
+            let f = fa.lock().expect("join slot poisoned").take().expect("join a runs once");
+            *ra.lock().expect("join slot poisoned") = Some(f());
+        } else {
+            let f = fb.lock().expect("join slot poisoned").take().expect("join b runs once");
+            *rb.lock().expect("join slot poisoned") = Some(f());
+        }
+    });
+    (
+        ra.into_inner().expect("join slot poisoned").expect("join a completed"),
+        rb.into_inner().expect("join slot poisoned").expect("join b completed"),
+    )
 }
 
-fn chunk_len(total: usize) -> usize {
-    let workers = current_num_threads().min(total).max(1);
-    total.div_ceil(workers)
-}
+/// A chunk input/output slot: taken (input) or filled (output) exactly
+/// once by the task that owns the index.
+type Slot<T> = Mutex<Option<T>>;
 
 /// Order-preserving parallel map over owned items.
 fn map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
@@ -49,56 +101,68 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    if current_num_threads() <= 1 || items.len() <= 1 {
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 || pool::in_parallel_task() {
         return items.into_iter().map(f).collect();
     }
-    let chunk = chunk_len(items.len());
-    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let len = items.len();
+    let chunk = len.div_ceil(task_count(threads, len));
+    let mut chunks: Vec<Slot<Vec<T>>> = Vec::with_capacity(len.div_ceil(chunk));
     let mut it = items.into_iter();
     loop {
         let c: Vec<T> = it.by_ref().take(chunk).collect();
         if c.is_empty() {
             break;
         }
-        chunks.push(c);
+        chunks.push(Mutex::new(Some(c)));
     }
-    let nested: Vec<Vec<R>> = std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("rayon-stub: worker panicked")).collect()
+    let slots: Vec<Slot<Vec<R>>> = (0..chunks.len()).map(|_| Mutex::new(None)).collect();
+    pool::run_tasks(threads, chunks.len(), |index| {
+        let input =
+            chunks[index].lock().expect("chunk slot poisoned").take().expect("chunk taken once");
+        let mapped: Vec<R> = input.into_iter().map(f).collect();
+        *slots[index].lock().expect("result slot poisoned") = Some(mapped);
     });
-    nested.into_iter().flatten().collect()
+    let mut out = Vec::with_capacity(len);
+    for slot in slots {
+        out.extend(slot.into_inner().expect("result slot poisoned").expect("chunk completed"));
+    }
+    out
 }
 
-/// Order-preserving parallel map over mutable sub-slices of length 1.
+/// Order-preserving parallel map over disjoint mutable sub-slices.
 fn map_slice_mut<'a, T, R, F>(slice: &'a mut [T], f: &F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(&'a mut T) -> R + Sync,
 {
-    if current_num_threads() <= 1 || slice.len() <= 1 {
+    let threads = current_num_threads();
+    if threads <= 1 || slice.len() <= 1 || pool::in_parallel_task() {
         return slice.iter_mut().map(f).collect();
     }
-    let chunk = chunk_len(slice.len());
+    let len = slice.len();
+    let chunk = len.div_ceil(task_count(threads, len));
     let mut rest = slice;
-    let mut chunks: Vec<&'a mut [T]> = Vec::new();
+    let mut chunks: Vec<Slot<&'a mut [T]>> = Vec::with_capacity(len.div_ceil(chunk));
     while !rest.is_empty() {
         let take = chunk.min(rest.len());
         let (head, tail) = rest.split_at_mut(take);
-        chunks.push(head);
+        chunks.push(Mutex::new(Some(head)));
         rest = tail;
     }
-    let nested: Vec<Vec<R>> = std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| s.spawn(move || c.iter_mut().map(f).collect::<Vec<R>>()))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("rayon-stub: worker panicked")).collect()
+    let slots: Vec<Slot<Vec<R>>> = (0..chunks.len()).map(|_| Mutex::new(None)).collect();
+    pool::run_tasks(threads, chunks.len(), |index| {
+        let input =
+            chunks[index].lock().expect("chunk slot poisoned").take().expect("chunk taken once");
+        let mapped: Vec<R> = input.iter_mut().map(f).collect();
+        *slots[index].lock().expect("result slot poisoned") = Some(mapped);
     });
-    nested.into_iter().flatten().collect()
+    let mut out = Vec::with_capacity(len);
+    for slot in slots {
+        out.extend(slot.into_inner().expect("result slot poisoned").expect("chunk completed"));
+    }
+    out
 }
 
 /// Parallel iterator over owned items (`Vec::into_par_iter`).
@@ -162,9 +226,10 @@ impl<T, F> MapOwned<T, F> {
         out.extend(map_vec(self.items, &self.f));
     }
 
-    /// Parallel map-reduce: maps every item, then folds the results with
-    /// `op` starting from `identity()` **in input order** — deterministic
-    /// for any `op`, independent of the thread count.
+    /// Parallel map-reduce: maps every item in parallel, then folds the
+    /// results with `op` starting from `identity()` **in input order** —
+    /// one ordered fold whose shape does not depend on the thread count,
+    /// so the result is deterministic for any `op`.
     pub fn reduce<R, ID, OP>(self, identity: ID, op: OP) -> R
     where
         T: Send,
@@ -379,5 +444,13 @@ mod tests {
         let (a, b) = super::join(|| 1 + 1, || "x".repeat(3));
         assert_eq!(a, 2);
         assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn task_count_oversubscribes_within_len() {
+        assert_eq!(super::task_count(4, 1000), 16);
+        assert_eq!(super::task_count(4, 10), 10);
+        assert_eq!(super::task_count(1, 10), 4);
+        assert_eq!(super::task_count(8, 0), 1);
     }
 }

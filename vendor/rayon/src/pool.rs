@@ -1,0 +1,322 @@
+//! The work-stealing thread pool behind this crate's parallel combinators
+//! (DESIGN.md §10).
+//!
+//! # Shape
+//!
+//! * **Lazily spawned, persistent workers.** The first parallel call at a
+//!   thread target `t ≥ 2` spawns `t - 1` detached workers; later calls
+//!   reuse them (and spawn more if the target grows). Workers park on a
+//!   condvar when idle, so a pool sized for 8 threads costs nothing while
+//!   the engine runs sequential code.
+//! * **Per-worker chunk deques + stealing.** Every parallel call splits its
+//!   work into indexed chunk tasks, dealt round-robin onto the workers'
+//!   deques. A worker pops its own deque front-first and steals from the
+//!   backs of its siblings' deques when empty, so uneven chunks rebalance.
+//! * **Caller participation.** The submitting thread does not block while
+//!   work is queued: it steals and runs chunk tasks like a worker until the
+//!   deques drain, then waits on the call's completion latch. On a
+//!   single-core host this means the caller typically runs every chunk
+//!   itself before the workers are even scheduled — the pool's overhead
+//!   degrades to a few atomic operations, not thread spawns.
+//! * **Determinism.** The pool never decides *where* a result goes: each
+//!   chunk task writes into its own pre-assigned output slot, and callers
+//!   merge slots in index order. Scheduling order is invisible in the
+//!   results, for any thread count.
+//! * **Panic propagation.** A panicking chunk poisons its call's latch;
+//!   sibling chunks of the same call skip their work (they still count
+//!   down the latch), and the first payload is re-thrown on the submitting
+//!   thread once the call completes. The pool itself keeps running.
+//! * **Nested calls run inline.** A parallel call issued from inside a
+//!   chunk task (including `join` from within `for_each`) executes
+//!   sequentially on the current thread — never queued, so it can never
+//!   deadlock waiting on workers that are busy running its parent.
+//!
+//! # Safety
+//!
+//! The only `unsafe` in this crate is the lifetime erasure that lets
+//! persistent workers run closures borrowing the submitting call's stack
+//! frame. Soundness rests on the completion protocol:
+//!
+//! 1. [`run_tasks`] pushes `n` tasks, each holding a pointer to the
+//!    caller's closure, and does not return until the latch counts `n`
+//!    completions.
+//! 2. Every pushed task is popped and completed exactly once (deques are
+//!    mutex-guarded; completion is counted after the closure's last use).
+//! 3. Therefore no task — queued or running — can outlive the frame that
+//!    owns the closure, and the pointer never dangles.
+//!
+//! Thread-safety of the *data* is still compiler-checked: the closure must
+//! be `Sync` (its captured borrows must be shareable) and chunk inputs and
+//! outputs cross threads behind `Send` bounds in the combinators.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// The thread target: a strict parse of `RAYON_NUM_THREADS`, falling back
+/// to the host's available parallelism when unset.
+///
+/// Re-read on every call so tests and benches can sweep thread counts at
+/// runtime. Invalid values (`0`, garbage, non-unicode) are a hard error —
+/// silently falling back would make a mistyped sweep measure the wrong
+/// configuration.
+pub(crate) fn effective_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!(
+                "RAYON_NUM_THREADS must be a positive integer thread count, got {raw:?}; \
+                 unset it to use all available cores"
+            ),
+        },
+        Err(std::env::VarError::NotPresent) => {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            panic!("RAYON_NUM_THREADS must be a positive integer thread count, got {raw:?}")
+        }
+    }
+}
+
+/// Whether the current thread is executing a pool chunk task. Parallel
+/// calls made in this state run inline (sequentially) instead of queueing,
+/// which is what makes nested `join`/`for_each` deadlock-free.
+pub(crate) fn in_parallel_task() -> bool {
+    IN_TASK.with(|flag| flag.get())
+}
+
+thread_local! {
+    static IN_TASK: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Completion state of one parallel call, shared (`Arc`) by its tasks so
+/// nothing here is borrowed from the submitting stack frame.
+struct Latch {
+    /// Tasks not yet completed. Counts completions, not pops: it reaches 0
+    /// only after every task's last use of the submitted closure.
+    remaining: Mutex<usize>,
+    done: Condvar,
+    /// Set by the first panicking task; sibling tasks then skip their work.
+    poisoned: AtomicBool,
+    /// First panic payload, re-thrown on the submitting thread.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// One queued chunk: run chunk `index` of the call owning `latch`.
+struct Task {
+    /// Type- and lifetime-erased pointer to the submitting call's closure
+    /// (`&F` on its stack frame; see the module-level safety argument).
+    closure: *const (),
+    /// Monomorphized trampoline that reconstitutes `&F` from `closure`.
+    // audit:allow(unsafe-block) -- fn-pointer type only; the call site carries its own safety comment
+    call: unsafe fn(*const (), usize),
+    index: usize,
+    latch: Arc<Latch>,
+}
+
+// The raw closure pointer is what stops `Task` from deriving `Send`. It is
+// sound to move across threads: the pointee is required to be `Sync` by
+// `run_tasks`' `F: Fn(usize) + Sync` bound, and it outlives every task per
+// the completion protocol above.
+// audit:allow(unsafe-block) -- Send is manually justified: pointee is Sync and outlives all tasks (latch protocol)
+unsafe impl Send for Task {}
+
+type TaskDeque = Arc<Mutex<VecDeque<Task>>>;
+
+/// Pool-global state.
+struct Shared {
+    /// One chunk deque per spawned worker; grows, never shrinks.
+    deques: Mutex<Vec<TaskDeque>>,
+    /// Workers with `id >= active` park instead of stealing, so a sweep to
+    /// a smaller `RAYON_NUM_THREADS` really uses fewer threads even though
+    /// the spawned workers persist.
+    active: AtomicUsize,
+    /// Wake generation, bumped under the lock on every submission. Workers
+    /// re-check the deques under this lock before sleeping, so a push can
+    /// never slip between a worker's last look and its wait.
+    sleep: Mutex<u64>,
+    wake: Condvar,
+}
+
+fn shared() -> &'static Arc<Shared> {
+    static POOL: OnceLock<Arc<Shared>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        Arc::new(Shared {
+            deques: Mutex::new(Vec::new()),
+            active: AtomicUsize::new(0),
+            sleep: Mutex::new(0),
+            wake: Condvar::new(),
+        })
+    })
+}
+
+/// Runs `f(0) ..= f(tasks - 1)` across the pool, returning once every call
+/// has completed. `threads` is the effective thread target (the caller
+/// counts as one of them). Panics from `f` are re-thrown here, first one
+/// wins; the pool stays usable afterwards.
+pub(crate) fn run_tasks<F: Fn(usize) + Sync>(threads: usize, tasks: usize, f: F) {
+    if threads <= 1 || tasks <= 1 || in_parallel_task() {
+        for index in 0..tasks {
+            f(index);
+        }
+        return;
+    }
+    let shared = shared();
+    let workers = (threads - 1).min(tasks);
+    ensure_workers(shared, workers);
+    // Benign race under concurrent submitters with different targets: the
+    // last store wins and a worker mid-sweep may act on the previous value
+    // for one task. Results are unaffected (slots are pre-assigned); this
+    // workspace submits from one thread at a time anyway.
+    shared.active.store(workers, Ordering::SeqCst);
+
+    let latch = Arc::new(Latch {
+        remaining: Mutex::new(tasks),
+        done: Condvar::new(),
+        poisoned: AtomicBool::new(false),
+        panic: Mutex::new(None),
+    });
+    let closure = &f as *const F as *const ();
+    {
+        let deques = shared.deques.lock().expect("pool deque list poisoned");
+        for index in 0..tasks {
+            let task = Task { closure, call: call_chunk::<F>, index, latch: Arc::clone(&latch) };
+            deques[index % workers].lock().expect("pool deque poisoned").push_back(task);
+        }
+    }
+    {
+        let mut generation = shared.sleep.lock().expect("pool sleep lock poisoned");
+        *generation = generation.wrapping_add(1);
+    }
+    shared.wake.notify_all();
+
+    // Participate: run queued chunks (ours, in the common case) until the
+    // deques are drained, then wait for in-flight chunks on the latch.
+    let deques = shared.deques.lock().expect("pool deque list poisoned").clone();
+    while let Some(task) = steal_any(&deques) {
+        run_task(task);
+    }
+    let mut remaining = latch.remaining.lock().expect("pool latch poisoned");
+    while *remaining > 0 {
+        remaining = latch.done.wait(remaining).expect("pool latch poisoned");
+    }
+    drop(remaining);
+    let payload = latch.panic.lock().expect("pool latch poisoned").take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+/// Trampoline: reconstitute the submitting call's `&F` and run one chunk.
+// audit:allow(unsafe-block) -- pointer cast back to the &F it was erased from; validity per the latch protocol
+unsafe fn call_chunk<F: Fn(usize) + Sync>(closure: *const (), index: usize) {
+    // SAFETY: `closure` is the `&f` taken in `run_tasks::<F>`, still alive
+    // because `run_tasks` only returns after this task completes.
+    // audit:allow(unsafe-block) -- see fn-level safety comment
+    let f = unsafe { &*(closure as *const F) };
+    f(index);
+}
+
+/// Runs one task to completion: execute the chunk (unless its call is
+/// already poisoned), record a panic if any, count down the latch.
+fn run_task(task: Task) {
+    if !task.latch.poisoned.load(Ordering::Acquire) {
+        let was_in_task = IN_TASK.with(|flag| flag.replace(true));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: dispatch through the monomorphized trampoline; the
+            // pointer is valid per the completion protocol (module docs).
+            // audit:allow(unsafe-block) -- erased-closure dispatch; validity per the latch protocol
+            unsafe { (task.call)(task.closure, task.index) }
+        }));
+        IN_TASK.with(|flag| flag.set(was_in_task));
+        if let Err(payload) = result {
+            task.latch.poisoned.store(true, Ordering::Release);
+            let mut slot = task.latch.panic.lock().expect("pool latch poisoned");
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+    }
+    let mut remaining = task.latch.remaining.lock().expect("pool latch poisoned");
+    *remaining -= 1;
+    if *remaining == 0 {
+        task.latch.done.notify_all();
+    }
+}
+
+/// Spawns workers (with their deques) until `want` exist.
+fn ensure_workers(shared: &'static Arc<Shared>, want: usize) {
+    let mut deques = shared.deques.lock().expect("pool deque list poisoned");
+    while deques.len() < want {
+        let id = deques.len();
+        deques.push(Arc::new(Mutex::new(VecDeque::new())));
+        let shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name(format!("anc-rayon-{id}"))
+            .spawn(move || worker_loop(&shared, id))
+            .expect("failed to spawn pool worker thread");
+    }
+}
+
+fn worker_loop(shared: &Shared, id: usize) {
+    let mut deques: Vec<TaskDeque> = Vec::new();
+    loop {
+        let task = if id < shared.active.load(Ordering::SeqCst) {
+            pop_or_steal(&deques, id)
+        } else {
+            None
+        };
+        if let Some(task) = task {
+            run_task(task);
+            continue;
+        }
+        // Park. Refresh the deque snapshot and re-check under the sleep
+        // lock: any submission either already queued its tasks (we see
+        // them here) or will bump the generation after we start waiting.
+        let mut generation = shared.sleep.lock().expect("pool sleep lock poisoned");
+        deques = shared.deques.lock().expect("pool deque list poisoned").clone();
+        let seen = *generation;
+        if id < shared.active.load(Ordering::SeqCst) {
+            if let Some(task) = pop_or_steal(&deques, id) {
+                drop(generation);
+                run_task(task);
+                continue;
+            }
+        }
+        while *generation == seen {
+            generation = shared.wake.wait(generation).expect("pool sleep lock poisoned");
+        }
+    }
+}
+
+/// Worker `id`'s scheduling policy: own deque front-first, then steal from
+/// the backs of the other deques, scanning from the next id around.
+fn pop_or_steal(deques: &[TaskDeque], id: usize) -> Option<Task> {
+    if let Some(own) = deques.get(id) {
+        if let Some(task) = own.lock().expect("pool deque poisoned").pop_front() {
+            return Some(task);
+        }
+    }
+    let len = deques.len();
+    for offset in 1..len.max(1) {
+        let victim = &deques[(id + offset) % len];
+        if let Some(task) = victim.lock().expect("pool deque poisoned").pop_back() {
+            return Some(task);
+        }
+    }
+    None
+}
+
+/// The submitting thread's policy: drain deques front-first in index order
+/// (its own call's chunks land round-robin starting at deque 0).
+fn steal_any(deques: &[TaskDeque]) -> Option<Task> {
+    for deque in deques {
+        if let Some(task) = deque.lock().expect("pool deque poisoned").pop_front() {
+            return Some(task);
+        }
+    }
+    None
+}

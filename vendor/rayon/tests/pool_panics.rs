@@ -1,0 +1,134 @@
+//! Panic propagation and pool-robustness suite for the shim API: a panic
+//! inside a parallel closure resurfaces on the caller (first panic wins,
+//! payload intact), and the pool services subsequent calls correctly
+//! afterward — at every thread count, including nested `join` from inside
+//! pool tasks.
+//!
+//! This file holds a single `#[test]` on purpose: it mutates the global
+//! `RAYON_NUM_THREADS` variable, which would race with sibling tests in
+//! the same binary.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rayon::prelude::*;
+
+/// The panic payload from `f` as a string, asserting `f` does panic.
+fn panic_message<F: FnOnce() + Send>(f: F) -> String {
+    let payload = catch_unwind(AssertUnwindSafe(f)).expect_err("closure should panic");
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        panic!("panic payload is not a string");
+    }
+}
+
+/// A parallel call after `scenario` still produces correct ordered output.
+fn pool_still_works() {
+    let v: Vec<u64> = (0..512).collect();
+    let doubled: Vec<u64> = v.into_par_iter().map(|x| x * 2).collect();
+    assert_eq!(doubled, (0..512).map(|x| x * 2).collect::<Vec<_>>());
+}
+
+fn check_at_current_thread_count() {
+    // for_each: the panicking item's payload propagates.
+    let msg = panic_message(|| {
+        let v: Vec<u32> = (0..200).collect();
+        v.into_par_iter().for_each(|x| {
+            if x == 137 {
+                panic!("for_each boom");
+            }
+        });
+    });
+    assert!(msg.contains("for_each boom"), "unexpected payload: {msg}");
+    pool_still_works();
+
+    // map/collect: same.
+    let msg = panic_message(|| {
+        let v: Vec<u32> = (0..200).collect();
+        let _: Vec<u32> =
+            v.into_par_iter().map(|x| if x == 42 { panic!("map boom") } else { x }).collect();
+    });
+    assert!(msg.contains("map boom"), "unexpected payload: {msg}");
+    pool_still_works();
+
+    // join: a panic in either arm propagates.
+    let msg = panic_message(|| {
+        rayon::join(|| 1 + 1, || panic!("join boom"));
+    });
+    assert!(msg.contains("join boom"), "unexpected payload: {msg}");
+    pool_still_works();
+
+    // par_iter_mut for_each: panic propagates and the pool survives.
+    let msg = panic_message(|| {
+        let mut v: Vec<u32> = (0..200).collect();
+        v.par_iter_mut().for_each(|x| {
+            if *x == 99 {
+                panic!("mut boom");
+            }
+            *x += 1;
+        });
+    });
+    assert!(msg.contains("mut boom"), "unexpected payload: {msg}");
+    pool_still_works();
+
+    // Nested join inside a pool task runs inline and never deadlocks.
+    let v: Vec<u64> = (0..64).collect();
+    let sums: Vec<u64> = v
+        .into_par_iter()
+        .map(|x| {
+            let (a, b) = rayon::join(move || x * 2, move || x * 3);
+            a + b
+        })
+        .collect();
+    assert_eq!(sums, (0..64).map(|x| x * 5).collect::<Vec<_>>());
+
+    // A panic inside a nested join propagates through the outer call too.
+    let msg = panic_message(|| {
+        let v: Vec<u64> = (0..64).collect();
+        v.into_par_iter().for_each(|x| {
+            rayon::join(
+                move || {
+                    if x == 33 {
+                        panic!("nested boom");
+                    }
+                },
+                || (),
+            );
+        });
+    });
+    assert!(msg.contains("nested boom"), "unexpected payload: {msg}");
+    pool_still_works();
+}
+
+#[test]
+fn panics_propagate_and_pool_survives() {
+    for threads in ["1", "2", "4", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        assert_eq!(
+            rayon::current_num_threads(),
+            threads.parse::<usize>().unwrap(),
+            "current_num_threads must report the env-var target"
+        );
+        check_at_current_thread_count();
+    }
+
+    // Strict env parsing: zero and garbage are hard errors, not silent
+    // fallbacks.
+    std::env::set_var("RAYON_NUM_THREADS", "0");
+    let msg = panic_message(|| {
+        rayon::current_num_threads();
+    });
+    assert!(msg.contains("RAYON_NUM_THREADS"), "unexpected payload: {msg}");
+
+    std::env::set_var("RAYON_NUM_THREADS", "abc");
+    let msg = panic_message(|| {
+        rayon::current_num_threads();
+    });
+    assert!(msg.contains("RAYON_NUM_THREADS"), "unexpected payload: {msg}");
+
+    // Unset falls back to available parallelism: always at least one.
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert!(rayon::current_num_threads() >= 1);
+}
