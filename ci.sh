@@ -30,6 +30,18 @@ cargo test --workspace -q
 echo "==> cargo test -p anc-core --features debug-invariants -q"
 cargo test -p anc-core --features debug-invariants -q
 
+echo "==> persistence: crash-recovery + binary round-trip property suites"
+# The WAL recovery contract (arbitrary-offset log truncation == prefix
+# replay, bit for bit) and the snapshot round-trip fuzz run again by name
+# so a persistence regression is attributed to DESIGN.md §11 directly.
+cargo test -p anc-core --test prop_wal -q
+cargo test -p anc-core --test prop_invariants -q
+
+echo "==> exp11_scale --smoke (scale sweep + snapshot-size gate)"
+# Smoke-sized run of the million-node sweep: exercises every snapshot
+# encoding end-to-end and asserts the binary-vs-JSON size floor.
+cargo run --release -q -p anc-bench --bin exp11_scale -- --smoke > /dev/null
+
 echo "==> cluster-cache property suite under debug-invariants"
 # The cache equivalence proptests (cached == cold at every level across
 # mixed update streams) run again here by name so a failure is attributed

@@ -59,22 +59,30 @@ pub const PANIC_ROOTS: &[&str] = &[
     "AncEngine::cluster_all",
     "AncEngine::cluster_all_cached",
     "Pyramids::on_weight_change",
+    "Pyramids::on_weight_change_into",
     "Pyramids::on_weight_change_batch",
     "Pyramids::on_weight_change_serial",
+    "Pyramids::on_weight_change_serial_into",
+    "DurableEngine::activate",
+    "DurableEngine::activate_batch",
+    "DurableEngine::activate_batch_adaptive",
 ];
 
 /// Per-activation entry points for A7 `hot-alloc`: these run once per stream
 /// event, so allocations here bound throughput. The pure query APIs
 /// (`local_cluster` etc.) are *not* alloc roots — they return owned results
-/// by design and run at query rate, not stream rate.
+/// by design and run at query rate, not stream rate. The convenience
+/// wrappers `on_weight_change`/`on_weight_change_serial` that collect into
+/// fresh `Vec`s are likewise excluded: the engine's stream path only calls
+/// the pooled `_into` variants.
 pub const ALLOC_ROOTS: &[&str] = &[
     "AncEngine::activate",
     "AncEngine::activate_traced",
     "AncEngine::activate_batch",
     "AncEngine::activate_batch_adaptive",
-    "Pyramids::on_weight_change",
+    "Pyramids::on_weight_change_into",
     "Pyramids::on_weight_change_batch",
-    "Pyramids::on_weight_change_serial",
+    "Pyramids::on_weight_change_serial_into",
 ];
 
 /// A panic or allocation marker inside one function body.

@@ -1,0 +1,237 @@
+//! **Exp 11** — million-node scale sweep: build, snapshot size, ingest,
+//! query (DESIGN.md §11).
+//!
+//! Pushes n up to 10⁶ on the two synthetic families (planted-partition and
+//! Barabási–Albert) and records, per (generator, n):
+//!
+//! * index build time and resident index bytes/node;
+//! * snapshot bytes/node for every encoding — JSON (n ≤ 10⁵ only; the
+//!   text encoding is infeasible at 10⁶), binary Exact, binary Compact —
+//!   plus save/load wall times and the JSON/Exact compression ratio (the
+//!   PR's ≥4× acceptance figure at n = 10⁵);
+//! * ingest throughput through `activate_batch`;
+//! * cold (`cluster_all` from scratch) and cached ([`ClusterCache`] hit)
+//!   query latency.
+//!
+//! Everything lands in `results/BENCH_scale.json`.
+//!
+//! Usage: `cargo run --release -p anc-bench --bin exp11_scale
+//! [--smoke] [--scale f] [--seed u64]`
+//!
+//! `--smoke` shrinks the sweep to n = 2000 for CI; the full sweep is
+//! n ∈ {10⁴, 10⁵, 10⁶}.
+
+use anc_bench::args::HarnessArgs;
+use anc_bench::report::{secs, write_json, Table};
+use anc_bench::time;
+use anc_core::{cluster, AncConfig, AncEngine, ClusterCache, ClusterMode, SnapshotProfile};
+use anc_data::stream;
+use anc_graph::gen::{barabasi_albert, planted_partition, PlantedConfig};
+use anc_graph::Graph;
+
+/// JSON snapshots above this node count are skipped: the text encoding is
+/// tens of bytes per float and the million-node row would serialize GBs.
+const JSON_MAX_N: usize = 100_000;
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn make_graph(family: &str, n: usize, seed: u64) -> Graph {
+    match family {
+        "planted" => planted_partition(&PlantedConfig::default_for(n), seed).graph,
+        "ba" => barabasi_albert(n, 4, seed),
+        other => panic!("unknown graph family {other}"),
+    }
+}
+
+struct SnapshotStats {
+    bytes: usize,
+    save_s: f64,
+    load_s: f64,
+}
+
+fn binary_stats(engine: &AncEngine, profile: SnapshotProfile) -> SnapshotStats {
+    let mut buf = Vec::new();
+    let (r, save_s) = time(|| engine.save_binary(&mut buf, profile));
+    r.unwrap();
+    let (restored, load_s) = time(|| AncEngine::load_binary(buf.as_slice()).unwrap());
+    std::hint::black_box(restored.activations());
+    SnapshotStats { bytes: buf.len(), save_s, load_s }
+}
+
+fn json_stats(engine: &AncEngine) -> SnapshotStats {
+    let mut buf = Vec::new();
+    let (r, save_s) = time(|| engine.save_json(&mut buf));
+    r.unwrap();
+    let (restored, load_s) = time(|| AncEngine::load_json(buf.as_slice()).unwrap());
+    std::hint::black_box(restored.activations());
+    SnapshotStats { bytes: buf.len(), save_s, load_s }
+}
+
+fn main() {
+    let args = HarnessArgs::parse(1.0);
+    let smoke = args.has("smoke");
+    let sizes: Vec<usize> = if smoke {
+        vec![2_000]
+    } else {
+        [10_000usize, 100_000, 1_000_000]
+            .iter()
+            .map(|&n| ((n as f64 * args.scale) as usize).max(500))
+            .collect()
+    };
+    let cfg = AncConfig { k: 2, rep: 1, ..Default::default() };
+
+    let mut table = Table::new(vec![
+        "family",
+        "n",
+        "build s",
+        "index B/node",
+        "json B/node",
+        "exact B/node",
+        "compact B/node",
+        "json/exact",
+        "acts/s",
+        "cold q s",
+        "cached q s",
+    ]);
+    let mut rows = Vec::new();
+    let mut ratio_at_1e5 = f64::NAN;
+
+    for &n in &sizes {
+        for family in ["planted", "ba"] {
+            let g = make_graph(family, n, args.seed);
+            let m = g.m();
+            eprintln!("[exp11] {family} n={n} m={m}: building index…");
+            let (mut engine, build_s) = time(|| AncEngine::new(g, cfg.clone(), args.seed));
+            let index_bytes = engine.memory_bytes();
+            eprintln!(
+                "[exp11] {family} n={n}: built in {build_s:.2}s, {:.1} B/node",
+                index_bytes as f64 / n as f64
+            );
+
+            // --- Ingest: batched activations through the pipeline. -------
+            let steps = 10usize;
+            let target = if smoke { 5_000 } else { 50_000.min(10 * m) };
+            let frac = (target as f64 / steps as f64 / m as f64).min(1.0);
+            let s = stream::uniform_per_step(engine.graph(), steps, frac, args.seed ^ 0x11);
+            let acts: usize = s.total_activations();
+            let (_, ingest_s) = time(|| {
+                for batch in &s.batches {
+                    let _ = engine.activate_batch(&batch.edges, batch.time);
+                }
+            });
+            let acts_per_s = acts as f64 / ingest_s;
+            eprintln!("[exp11] {family} n={n}: {acts} acts in {ingest_s:.2}s ({acts_per_s:.0}/s)");
+
+            // --- Snapshot encodings. -------------------------------------
+            let exact = binary_stats(&engine, SnapshotProfile::Exact);
+            let compact = binary_stats(&engine, SnapshotProfile::Compact);
+            let json = if n <= JSON_MAX_N { Some(json_stats(&engine)) } else { None };
+            let json_ratio = json.as_ref().map(|j| j.bytes as f64 / exact.bytes as f64);
+            let compact_ratio = json.as_ref().map(|j| j.bytes as f64 / compact.bytes as f64);
+            if let (Some(re), Some(rc)) = (json_ratio, compact_ratio) {
+                eprintln!(
+                    "[exp11] {family} n={n}: json {} B, exact {} B ({re:.2}x), compact {} B ({rc:.2}x)",
+                    json.as_ref().map_or(0, |j| j.bytes),
+                    exact.bytes,
+                    compact.bytes
+                );
+                if n == 100_000 && family == "planted" {
+                    ratio_at_1e5 = rc;
+                }
+            }
+
+            // --- Query latency: cold vs cached. --------------------------
+            let level = engine.default_level();
+            let mut cold_samples = Vec::new();
+            for _ in 0..3 {
+                let (c, s) = time(|| {
+                    cluster::cluster_all(
+                        engine.graph(),
+                        engine.pyramids(),
+                        level,
+                        ClusterMode::Power,
+                    )
+                });
+                std::hint::black_box(c.num_clusters());
+                cold_samples.push(s);
+            }
+            let cold_q = median(&mut cold_samples);
+            let mut cache = ClusterCache::new(engine.num_levels());
+            // First query fills the cache; the samples after it are hits.
+            let (first, _) =
+                cache.query(engine.graph(), engine.pyramids(), level, ClusterMode::Power);
+            std::hint::black_box(first.num_clusters());
+            let mut hit_samples = Vec::new();
+            for _ in 0..5 {
+                let ((c, stats), s) = time(|| {
+                    cache.query(engine.graph(), engine.pyramids(), level, ClusterMode::Power)
+                });
+                std::hint::black_box((c.num_clusters(), stats.decision));
+                hit_samples.push(s);
+            }
+            let cached_q = median(&mut hit_samples);
+
+            let bpn = |b: usize| b as f64 / n as f64;
+            table.row(vec![
+                family.to_string(),
+                n.to_string(),
+                secs(build_s),
+                format!("{:.1}", bpn(index_bytes)),
+                json.as_ref().map_or("-".into(), |j| format!("{:.1}", bpn(j.bytes))),
+                format!("{:.1}", bpn(exact.bytes)),
+                format!("{:.1}", bpn(compact.bytes)),
+                json_ratio.map_or("-".into(), |r| format!("{r:.2}x")),
+                format!("{acts_per_s:.0}"),
+                secs(cold_q),
+                secs(cached_q),
+            ]);
+            rows.push(serde_json::json!({
+                "family": family,
+                "n": n,
+                "m": m,
+                "build_seconds": build_s,
+                "index_bytes": index_bytes,
+                "index_bytes_per_node": bpn(index_bytes),
+                "json_bytes": json.as_ref().map_or(serde_json::Value::Null, |j| serde_json::json!(j.bytes)),
+                "json_save_seconds": json.as_ref().map_or(serde_json::Value::Null, |j| serde_json::json!(j.save_s)),
+                "json_load_seconds": json.as_ref().map_or(serde_json::Value::Null, |j| serde_json::json!(j.load_s)),
+                "binary_exact_bytes": exact.bytes,
+                "binary_exact_save_seconds": exact.save_s,
+                "binary_exact_load_seconds": exact.load_s,
+                "binary_compact_bytes": compact.bytes,
+                "binary_compact_save_seconds": compact.save_s,
+                "binary_compact_load_seconds": compact.load_s,
+                "json_over_exact_ratio": json_ratio.map_or(serde_json::Value::Null, |r| serde_json::json!(r)),
+                "json_over_compact_ratio": compact_ratio.map_or(serde_json::Value::Null, |r| serde_json::json!(r)),
+                "ingest_activations": acts,
+                "ingest_seconds": ingest_s,
+                "ingest_acts_per_second": acts_per_s,
+                "query_cold_seconds": cold_q,
+                "query_cached_seconds": cached_q,
+            }));
+        }
+    }
+
+    println!("\n=== Exp 11: Scale Sweep ===");
+    table.print();
+    if ratio_at_1e5.is_finite() {
+        println!("\n[exp11] JSON/Compact ratio at n=100000 (planted): {ratio_at_1e5:.2}x");
+        assert!(
+            ratio_at_1e5 >= 4.0,
+            "binary snapshot must be >= 4x smaller than JSON at n=1e5, got {ratio_at_1e5:.2}x"
+        );
+    }
+    let path = write_json(
+        "BENCH_scale",
+        &serde_json::json!({
+            "smoke": smoke,
+            "seed": args.seed,
+            "rows": rows,
+        }),
+    )
+    .unwrap();
+    println!("[exp11] JSON written to {}", path.display());
+}

@@ -303,34 +303,61 @@ impl AncEngine {
         self.clock.note_activation();
         self.activations += 1;
 
-        let trace = self.reinforce_and_repair(e);
+        let changed = self.reinforce_and_repair(e);
         self.maybe_rescale();
-        trace
-    }
-
-    /// Applies local reinforcement on `e` and propagates the weight change
-    /// into the index (shared by the ANCO path and ANCOR replays). Returns
-    /// the per-partition affected nodes (empty when the similarity did not
-    /// change).
-    fn reinforce_and_repair(&mut self, e: EdgeId) -> Vec<Vec<NodeId>> {
-        let params = self.reinforce_params();
-        let ctx = SimilarityCtx { g: &self.g, act: self.act.as_slice(), node_sum: &self.node_sum };
-        let out = apply_reinforcement(&ctx, &mut self.sim, e, &params, &mut self.scratch);
-        self.sim_sum += out.new_sim - out.old_sim;
-        if out.new_sim != out.old_sim {
-            let old_w = self.recip[e as usize];
-            self.recip[e as usize] = 1.0 / out.new_sim;
-            let trace = if self.cfg.parallel_updates {
-                self.pyramids.on_weight_change(&self.g, &self.recip, e, old_w)
-            } else {
-                self.pyramids.on_weight_change_serial(&self.g, &self.recip, e, old_w)
-            };
-            self.cache.get_mut().note_affected(&self.g, &trace);
-            trace
+        if changed {
+            self.trace_bufs.clone()
         } else {
             // audit:allow(hot-alloc) -- an empty Vec::new never allocates
             Vec::new()
         }
+    }
+
+    /// Grows the pooled per-partition trace buffers to one per partition
+    /// (`k · levels` slots, fixed for the engine's lifetime).
+    fn ensure_trace_bufs(&mut self) {
+        let slots = self.pyramids.k() * self.pyramids.num_levels();
+        if self.trace_bufs.len() < slots {
+            self.trace_bufs.resize_with(slots, || Vec::with_capacity(0));
+        }
+    }
+
+    /// Applies local reinforcement on `e` and propagates the weight change
+    /// into the index (shared by the ANCO path and ANCOR replays). On
+    /// return, `self.trace_bufs` holds the per-partition affected nodes;
+    /// returns whether the similarity (and hence the index) changed at all.
+    /// The buffers are pooled so the steady-state single-activation path
+    /// performs no heap allocation.
+    fn reinforce_and_repair(&mut self, e: EdgeId) -> bool {
+        let params = self.reinforce_params();
+        let ctx = SimilarityCtx { g: &self.g, act: self.act.as_slice(), node_sum: &self.node_sum };
+        let out = apply_reinforcement(&ctx, &mut self.sim, e, &params, &mut self.scratch);
+        self.sim_sum += out.new_sim - out.old_sim;
+        if out.new_sim == out.old_sim {
+            return false;
+        }
+        let old_w = self.recip[e as usize];
+        self.recip[e as usize] = 1.0 / out.new_sim;
+        self.ensure_trace_bufs();
+        if self.cfg.parallel_updates {
+            self.pyramids.on_weight_change_into(
+                &self.g,
+                &self.recip,
+                e,
+                old_w,
+                &mut self.trace_bufs,
+            );
+        } else {
+            self.pyramids.on_weight_change_serial_into(
+                &self.g,
+                &self.recip,
+                e,
+                old_w,
+                &mut self.trace_bufs,
+            );
+        }
+        self.cache.get_mut().note_affected(&self.g, &self.trace_bufs);
+        true
     }
 
     /// Processes a batch of activations arriving at the same time `t`
@@ -558,10 +585,7 @@ impl AncEngine {
             return;
         }
         let rs = if self.cache.get_mut().has_materialized_levels() {
-            let slots = self.pyramids.k() * self.pyramids.num_levels();
-            if self.trace_bufs.len() < slots {
-                self.trace_bufs.resize_with(slots, || Vec::with_capacity(0));
-            }
+            self.ensure_trace_bufs();
             let rs = self.pyramids.on_weight_change_batch_traced(
                 &self.g,
                 &self.recip,
@@ -799,6 +823,24 @@ impl AncEngine {
             node_sum: self.node_sum.clone(),
             sim: self.sim.clone(),
             pyramids: self.pyramids.clone(),
+            index_seed: self.index_seed,
+            sim_sum: self.sim_sum,
+            activations: self.activations,
+            rescales: self.rescales,
+        }
+    }
+
+    /// Borrows every persisted field at once (no cloning) for the binary
+    /// snapshot encoder (see [`crate::persist::binary`]).
+    pub(crate) fn persist_view(&self) -> crate::persist::PersistView<'_> {
+        crate::persist::PersistView {
+            graph: &self.g,
+            config: &self.cfg,
+            clock: &self.clock,
+            activeness: self.act.as_slice(),
+            node_sum: &self.node_sum,
+            sim: &self.sim,
+            pyramids: &self.pyramids,
             index_seed: self.index_seed,
             sim_sum: self.sim_sum,
             activations: self.activations,

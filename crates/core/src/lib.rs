@@ -50,7 +50,10 @@ pub use cluster::ClusterMode;
 pub use config::{AncConfig, BatchMode};
 pub use engine::{AncEngine, BatchStats, OfflineSnapshot};
 pub use invariant::InvariantViolation;
-pub use persist::{EngineSnapshot, RestoreError};
+pub use persist::{
+    DurabilityOptions, DurableEngine, EngineSnapshot, RestoreError, SnapshotProfile, WalReader,
+    WalRecord,
+};
 pub use pyramid::{Pyramids, RepairStats};
 pub use similarity::{NodeType, ScratchPool};
 pub use vote::{ClusterMonitor, EdgeBits, VoteCache};

@@ -7,9 +7,17 @@
 //! the pyramids with their shortest-path forests, the decay clock — in a
 //! serde-serializable form; restoring is `O(state)` with no recomputation.
 //!
-//! The format is serde-generic; [`AncEngine::save_json`] /
-//! [`AncEngine::load_json`] provide a self-describing JSON encoding out of
-//! the box.
+//! Three encodings share the snapshot model (DESIGN.md §11):
+//!
+//! * **JSON** ([`AncEngine::save_json`] / [`AncEngine::load_json`]) —
+//!   self-describing, serde-generic, human-inspectable; by far the largest.
+//! * **Binary** ([`binary`], [`AncEngine::save_binary`] /
+//!   [`AncEngine::load_binary`]) — versioned compact format with
+//!   delta-encoded topology, varint ids and optionally `f32`-quantized
+//!   float arrays, integrity-checked end to end by a CRC-32 trailer.
+//! * **Delta log** ([`wal`], [`wal::DurableEngine`]) — an append-only
+//!   activation log over a base binary snapshot with per-record checksums,
+//!   periodic compaction and crash recovery by suffix replay.
 //!
 //! **Derived state is excluded.** The incremental cluster-query cache
 //! ([`crate::ClusterCache`]) is deliberately not part of the snapshot: every
@@ -20,6 +28,7 @@
 //! labels identical to the pre-snapshot engine's.
 
 use anc_decay::{ActivenessStore, DecayClock};
+use anc_graph::codec::CodecError;
 use anc_graph::Graph;
 use serde::{Deserialize, Serialize};
 
@@ -27,6 +36,12 @@ use crate::engine::AncEngine;
 use crate::invariant::InvariantViolation;
 use crate::pyramid::Pyramids;
 use crate::AncConfig;
+
+pub mod binary;
+pub mod wal;
+
+pub use binary::SnapshotProfile;
+pub use wal::{DurabilityOptions, DurableEngine, WalReader, WalRecord, SNAPSHOT_FILE, WAL_FILE};
 
 /// The complete serializable state of an [`AncEngine`].
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -60,32 +75,100 @@ pub struct EngineSnapshot {
 /// Current snapshot format version.
 pub const SNAPSHOT_VERSION: u32 = 1;
 
-/// Errors from snapshot restore.
+/// Errors from snapshot/log restore.
 #[derive(Debug)]
 pub enum RestoreError {
     /// The snapshot's version field is not supported.
     UnsupportedVersion(u32),
+    /// The input does not start with the expected magic bytes — it is not
+    /// an ANC snapshot/log at all (or the header itself is corrupted).
+    BadMagic,
+    /// A CRC-32 integrity check failed: the bytes were damaged after they
+    /// were written.
+    ChecksumMismatch {
+        /// Checksum recorded in the file.
+        expected: u32,
+        /// Checksum of the bytes actually read.
+        found: u32,
+    },
+    /// The input ended mid-structure (e.g. a torn write at the tail of a
+    /// log). `offset` is the byte position at which more input was needed.
+    Truncated {
+        /// Byte offset of the premature end.
+        offset: usize,
+    },
     /// Structural inconsistency between parts of the snapshot.
     Inconsistent(String),
     /// The snapshot state violates an engine invariant (see
     /// [`crate::invariant`]).
     Invariant(InvariantViolation),
-    /// Serde/IO failure.
+    /// Serde/codec failure.
     Codec(String),
+    /// Filesystem failure while reading or writing persistent state.
+    Io(std::io::Error),
 }
 
 impl std::fmt::Display for RestoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RestoreError::UnsupportedVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            RestoreError::BadMagic => write!(f, "bad magic: not an ANC snapshot/log"),
+            RestoreError::ChecksumMismatch { expected, found } => {
+                write!(f, "checksum mismatch: stored {expected:#010x}, computed {found:#010x}")
+            }
+            RestoreError::Truncated { offset } => write!(f, "input truncated at byte {offset}"),
             RestoreError::Inconsistent(msg) => write!(f, "inconsistent snapshot: {msg}"),
             RestoreError::Invariant(v) => write!(f, "snapshot violates invariant: {v}"),
             RestoreError::Codec(msg) => write!(f, "codec error: {msg}"),
+            RestoreError::Io(e) => write!(f, "io error: {e}"),
         }
     }
 }
 
 impl std::error::Error for RestoreError {}
+
+impl From<CodecError> for RestoreError {
+    fn from(e: CodecError) -> Self {
+        match e {
+            CodecError::UnexpectedEof { offset } => RestoreError::Truncated { offset },
+            other => RestoreError::Codec(other.to_string()),
+        }
+    }
+}
+
+impl From<std::io::Error> for RestoreError {
+    fn from(e: std::io::Error) -> Self {
+        RestoreError::Io(e)
+    }
+}
+
+/// Little-endian `u32` from the first 4 bytes of a (length-checked) slice.
+pub(crate) fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+/// Little-endian `u64` from the first 8 bytes of a (length-checked) slice.
+pub(crate) fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+/// Borrowed view of every persisted engine field — lets the binary codec
+/// encode straight from a live engine without the full-state clone
+/// [`AncEngine::to_snapshot`] performs (which at `n = 10⁶` would copy
+/// hundreds of megabytes just to serialize them).
+pub(crate) struct PersistView<'a> {
+    pub graph: &'a Graph,
+    pub config: &'a AncConfig,
+    pub clock: &'a DecayClock,
+    pub activeness: &'a [f64],
+    pub node_sum: &'a [f64],
+    pub sim: &'a [f64],
+    pub pyramids: &'a Pyramids,
+    pub index_seed: u64,
+    pub sim_sum: f64,
+    pub activations: u64,
+    pub rescales: u64,
+}
 
 impl EngineSnapshot {
     /// Validates internal consistency (sizes line up, similarities positive).

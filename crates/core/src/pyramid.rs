@@ -39,6 +39,16 @@ impl std::ops::AddAssign for RepairStats {
     }
 }
 
+/// Pooled per-worker scratch for the grouped batch repairs: a private
+/// weight array for the rewound replay plus a sink for affected nodes the
+/// untraced path discards. Lives on [`Pyramids`] so repeated batches stop
+/// allocating once the pool reaches its high-water mark.
+#[derive(Clone, Debug, Default)]
+struct RepairScratch {
+    weights: Vec<f64>,
+    discard: Vec<NodeId>,
+}
+
 /// The full index: `k × levels` Voronoi partitions plus the voting
 /// threshold.
 ///
@@ -61,6 +71,9 @@ pub struct Pyramids {
     levels: usize,
     needed_votes: usize,
     n: usize,
+    /// Per-worker batch-repair buffers (transient; excluded from snapshots).
+    #[serde(skip)]
+    repair_scratch: Vec<RepairScratch>,
 }
 
 impl Pyramids {
@@ -92,7 +105,7 @@ impl Pyramids {
             .map(|seeds| VoronoiPartition::build(g, weights, seeds))
             .collect();
         let needed_votes = ((theta * k as f64).ceil() as usize).clamp(1, k);
-        Self { partitions, k, levels, needed_votes, n }
+        Self { partitions, k, levels, needed_votes, n, repair_scratch: Vec::with_capacity(0) }
     }
 
     /// Number of granularity levels `⌈log₂ n⌉` (min 1).
@@ -169,7 +182,36 @@ impl Pyramids {
         e: EdgeId,
         old_w: f64,
     ) -> Vec<Vec<NodeId>> {
-        self.partitions.par_iter_mut().map(|p| p.on_weight_change(g, weights, e, old_w)).collect()
+        let mut out = vec![Vec::new(); self.partitions.len()];
+        self.on_weight_change_into(g, weights, e, old_w, &mut out);
+        out
+    }
+
+    /// [`Self::on_weight_change`] filling caller-owned per-partition buffers
+    /// (each cleared, then sorted and deduplicated) instead of allocating a
+    /// fresh list per partition — the engine pools the buffers across
+    /// activations so steady-state single-edge repairs stop allocating.
+    pub fn on_weight_change_into(
+        &mut self,
+        g: &Graph,
+        weights: &[f64],
+        e: EdgeId,
+        old_w: f64,
+        out: &mut [Vec<NodeId>],
+    ) {
+        debug_assert_eq!(out.len(), self.partitions.len(), "one buffer per partition");
+        let n_chunks = rayon::recommended_chunks(self.partitions.len()).max(1);
+        let chunk = self.partitions.len().div_ceil(n_chunks).max(1);
+        self.partitions.par_chunks_mut(chunk).zip(out.par_chunks_mut(chunk)).for_each(
+            |(parts, outs)| {
+                for (p, o) in parts.iter_mut().zip(outs.iter_mut()) {
+                    o.clear();
+                    p.on_weight_change_into(g, weights, e, old_w, o);
+                    o.sort_unstable();
+                    o.dedup();
+                }
+            },
+        );
     }
 
     /// Applies a whole batch of ordered weight deltas with **one** parallel
@@ -211,31 +253,40 @@ impl Pyramids {
                 .all(|ok| ok),
             "last delta per edge must match the final weights"
         );
-        // Modest 2× oversubscription only: each chunk task clones the full
-        // weight array, so shattering into many small chunks costs more in
-        // clones than stealing wins back.
+        // Modest 2× oversubscription only: each chunk task fills a full
+        // private weight array, so shattering into many small chunks costs
+        // more in copies than stealing wins back.
         let n_target = (rayon::current_num_threads() * 2).clamp(1, self.partitions.len());
         let chunk = self.partitions.len().div_ceil(n_target);
+        let n_chunks = self.partitions.len().div_ceil(chunk);
+        if self.repair_scratch.len() < n_chunks {
+            self.repair_scratch.resize_with(n_chunks, Default::default);
+        }
         // Workers fold their counters with `reduce` (addition is commutative
         // and associative, so the result is thread-count independent) rather
-        // than collecting a per-chunk Vec on the hot path.
+        // than collecting a per-chunk Vec on the hot path. Each worker owns
+        // one pooled scratch slot (zip truncates to the partition chunks):
+        // the weight array is refilled in place, and affected-node output is
+        // appended to the pooled discard sink instead of a fresh Vec.
         self.partitions
             .par_chunks_mut(chunk)
-            .map(|parts| {
-                // One weight-array clone per worker; rewinding between
-                // partitions only touches the delta edges.
-                let mut w = weights.to_vec();
+            .zip(self.repair_scratch.par_chunks_mut(1))
+            .map(|(parts, scratch)| {
+                let s = &mut scratch[0];
+                s.weights.clear();
+                s.weights.extend_from_slice(weights);
                 let mut stats = RepairStats::default();
                 for p in parts.iter_mut() {
                     for &(e, old_w, _) in deltas.iter().rev() {
-                        w[e as usize] = old_w;
+                        s.weights[e as usize] = old_w;
                     }
                     for &(e, old_w, new_w) in deltas {
-                        w[e as usize] = new_w;
-                        if p.noop_weight_change(g, &w, e, old_w) {
+                        s.weights[e as usize] = new_w;
+                        if p.noop_weight_change(g, &s.weights, e, old_w) {
                             stats.skips += 1;
                         } else {
-                            p.on_weight_change(g, &w, e, old_w);
+                            s.discard.clear();
+                            p.on_weight_change_into(g, &s.weights, e, old_w, &mut s.discard);
                             stats.updates += 1;
                         }
                     }
@@ -272,29 +323,35 @@ impl Pyramids {
             return RepairStats::default();
         }
         // 2× oversubscription, matching the untraced batch repair: the
-        // per-chunk weight clone dominates finer-grained chunking.
+        // per-chunk private weight fill dominates finer-grained chunking.
         let n_target = (rayon::current_num_threads() * 2).clamp(1, self.partitions.len());
         let chunk = self.partitions.len().div_ceil(n_target);
+        let n_chunks = self.partitions.len().div_ceil(chunk);
+        if self.repair_scratch.len() < n_chunks {
+            self.repair_scratch.resize_with(n_chunks, Default::default);
+        }
         let stats = self
             .partitions
             .par_chunks_mut(chunk)
             .zip(out.par_chunks_mut(chunk))
-            .map(|(parts, traces)| {
-                // One weight-array clone per worker, rewound between
+            .zip(self.repair_scratch.par_chunks_mut(1))
+            .map(|((parts, traces), scratch)| {
+                // One pooled weight array per worker, rewound between
                 // partitions exactly as in the untraced batch repair.
-                // audit:allow(hot-alloc) -- one weight copy per worker per batch
-                let mut w = weights.to_vec();
+                let s = &mut scratch[0];
+                s.weights.clear();
+                s.weights.extend_from_slice(weights);
                 let mut stats = RepairStats::default();
                 for (p, trace) in parts.iter_mut().zip(traces.iter_mut()) {
                     for &(e, old_w, _) in deltas.iter().rev() {
-                        w[e as usize] = old_w;
+                        s.weights[e as usize] = old_w;
                     }
                     for &(e, old_w, new_w) in deltas {
-                        w[e as usize] = new_w;
-                        if p.noop_weight_change(g, &w, e, old_w) {
+                        s.weights[e as usize] = new_w;
+                        if p.noop_weight_change(g, &s.weights, e, old_w) {
                             stats.skips += 1;
                         } else {
-                            p.on_weight_change_into(g, &w, e, old_w, trace);
+                            p.on_weight_change_into(g, &s.weights, e, old_w, trace);
                             stats.updates += 1;
                         }
                     }
@@ -319,7 +376,28 @@ impl Pyramids {
         e: EdgeId,
         old_w: f64,
     ) -> Vec<Vec<NodeId>> {
-        self.partitions.iter_mut().map(|p| p.on_weight_change(g, weights, e, old_w)).collect()
+        let mut out = vec![Vec::new(); self.partitions.len()];
+        self.on_weight_change_serial_into(g, weights, e, old_w, &mut out);
+        out
+    }
+
+    /// Serial variant of [`Self::on_weight_change_into`] (same caller-owned
+    /// buffer contract).
+    pub fn on_weight_change_serial_into(
+        &mut self,
+        g: &Graph,
+        weights: &[f64],
+        e: EdgeId,
+        old_w: f64,
+        out: &mut [Vec<NodeId>],
+    ) {
+        debug_assert_eq!(out.len(), self.partitions.len(), "one buffer per partition");
+        for (p, o) in self.partitions.iter_mut().zip(out.iter_mut()) {
+            o.clear();
+            p.on_weight_change_into(g, weights, e, old_w, o);
+            o.sort_unstable();
+            o.dedup();
+        }
     }
 
     /// Approximate distance query in the style of the underlying Das Sarma
@@ -360,6 +438,25 @@ impl Pyramids {
     /// Total heap bytes used by the index.
     pub fn memory_bytes(&self) -> usize {
         self.partitions.iter().map(|p| p.memory_bytes()).sum()
+    }
+
+    /// Raw parts for the compact binary snapshot codec (see DESIGN.md §11):
+    /// `(partitions, k, levels, needed_votes, n)`.
+    pub(crate) fn persist_parts(&self) -> (&[VoronoiPartition], usize, usize, usize, usize) {
+        (&self.partitions, self.k, self.levels, self.needed_votes, self.n)
+    }
+
+    /// Reassembles an index from persisted parts. Inverse of
+    /// [`Self::persist_parts`]; shape is validated by the caller via
+    /// [`Self::check_invariants`].
+    pub(crate) fn from_persist_parts(
+        partitions: Vec<VoronoiPartition>,
+        k: usize,
+        levels: usize,
+        needed_votes: usize,
+        n: usize,
+    ) -> Self {
+        Self { partitions, k, levels, needed_votes, n, repair_scratch: Vec::with_capacity(0) }
     }
 
     /// Checks the index shape (`k · ⌈log₂ n⌉` partitions with the Example 3

@@ -120,6 +120,45 @@ impl VoronoiPartition {
                 .sum::<usize>()
     }
 
+    /// The partition's persisted essence, borrowed for the binary snapshot
+    /// codec: `(seeds, seed_of, dist, parent)`. Children lists, marks and
+    /// stamps are derived/transient and are re-created on restore.
+    pub(crate) fn persist_parts(&self) -> (&[NodeId], &[NodeId], &[f64], &[NodeId]) {
+        (&self.seeds, &self.seed_of, &self.dist, &self.parent)
+    }
+
+    /// Rebuilds a partition from its persisted essence. Children lists are
+    /// re-derived from the parent array in increasing node order — exactly
+    /// the canonical order [`Self::set_parent`] maintains — and the update
+    /// marks/stamps restart from zero (they only discriminate within a
+    /// single update, so a fresh epoch is indistinguishable).
+    pub(crate) fn from_persist_parts(
+        seeds: Vec<NodeId>,
+        seed_of: Vec<NodeId>,
+        dist: Vec<f64>,
+        parent: Vec<NodeId>,
+    ) -> Self {
+        let n = seed_of.len();
+        let mut children = vec![Vec::new(); n];
+        for (v, &p) in parent.iter().enumerate() {
+            if p != NO_NODE {
+                children[p as usize].push(v as NodeId);
+            }
+        }
+        Self {
+            seeds,
+            seed_of,
+            dist,
+            parent,
+            children,
+            mark: vec![0; n],
+            stamp: 0,
+            // audit:allow(hot-alloc) -- empty Vec::new never allocates
+            scratch_stack: Vec::new(),
+            scratch_heap: BinaryHeap::new(),
+        }
+    }
+
     /// Absorbs a batched rescale: all anchored distances scale by `mult`
     /// (`1/g` for the NegM distance metric, Lemma 10). Tree structure is
     /// invariant because the scaling is uniform.
@@ -141,12 +180,22 @@ impl VoronoiPartition {
         if old_p != NO_NODE {
             let kids = &mut self.children[old_p as usize];
             if let Some(pos) = kids.iter().position(|&c| c == a) {
-                kids.swap_remove(pos);
+                kids.remove(pos);
             }
         }
         self.parent[a as usize] = new_p;
         if new_p != NO_NODE {
-            self.children[new_p as usize].push(a);
+            // Children lists are kept sorted by node id so the forest state
+            // is a pure function of the parent array. This is what lets the
+            // compact binary snapshot (DESIGN.md §11) drop the children
+            // lists entirely and re-derive them on restore with *identical*
+            // traversal order — subtree collection and frontier seeding in
+            // the update algorithms follow children order, so a canonical
+            // order makes a restored engine's future evolution bit-identical
+            // to the uninterrupted one, even at exact distance ties.
+            let kids = &mut self.children[new_p as usize];
+            let pos = kids.partition_point(|&c| c < a);
+            kids.insert(pos, a);
         }
     }
 
@@ -331,7 +380,7 @@ impl VoronoiPartition {
         if po != NO_NODE {
             let kids = &mut self.children[po as usize];
             if let Some(pos) = kids.iter().position(|&c| c == o) {
-                kids.swap_remove(pos);
+                kids.remove(pos); // order-preserving: children stay sorted
             }
         }
         let stamp = self.next_stamp();
@@ -492,6 +541,9 @@ impl VoronoiPartition {
                 if self.parent[c as usize] != v {
                     return Err(format!("children list of {v} contains non-child {c}"));
                 }
+            }
+            if !self.children[v as usize].windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("children of {v} not sorted (canonical order violated)"));
             }
             if p != NO_NODE && !self.children[p as usize].contains(&v) {
                 return Err(format!("{v} missing from children of {p}"));

@@ -4,7 +4,7 @@
 //! asserted after **every** step, plus negative tests that corrupted
 //! snapshots are rejected with the right [`InvariantViolation`] variant.
 
-use anc_core::{AncConfig, AncEngine, InvariantViolation, RestoreError};
+use anc_core::{AncConfig, AncEngine, InvariantViolation, RestoreError, SnapshotProfile};
 use anc_decay::RescaleConfig;
 use anc_graph::gen::{connected_caveman, erdos_renyi};
 use proptest::prelude::*;
@@ -130,6 +130,81 @@ proptest! {
                         restored.pyramids().partition(p, l).dist(v),
                     );
                     prop_assert!((da - db).abs() <= 1e-9 * (1.0 + db.abs()),
+                        "pyramid {} level {} node {}: {} vs {}", p, l, v, da, db);
+                }
+            }
+        }
+    }
+
+    /// Binary snapshots round-trip at every step of a mixed stream that
+    /// crosses rescale boundaries (DESIGN.md §11): both profiles restore
+    /// invariant-clean and re-save byte-identically (idempotent encoding),
+    /// and an Exact restore then *evolves* bit-identically to the live
+    /// engine under the remaining stream suffix.
+    #[test]
+    fn binary_roundtrip_fuzz_mid_stream((seed, events) in stream_strategy()) {
+        let g = erdos_renyi(20, 45, seed);
+        if g.m() == 0 { return Ok(()); }
+        let mut engine = AncEngine::new(g, fuzz_cfg(), seed);
+        let mut t = 0.0;
+        for (event, dt) in &events {
+            t += dt;
+            apply(&mut engine, event, t);
+
+            let mut exact = Vec::new();
+            engine.save_binary(&mut exact, SnapshotProfile::Exact).unwrap();
+            let restored = AncEngine::load_binary(exact.as_slice()).unwrap();
+            prop_assert!(restored.check_invariants().is_ok());
+            let mut resave = Vec::new();
+            restored.save_binary(&mut resave, SnapshotProfile::Exact).unwrap();
+            prop_assert_eq!(&exact, &resave, "Exact re-save diverged at t={}", t);
+
+            let mut compact = Vec::new();
+            engine.save_binary(&mut compact, SnapshotProfile::Compact).unwrap();
+            let restored_c = AncEngine::load_binary(compact.as_slice()).unwrap();
+            prop_assert!(restored_c.check_invariants().is_ok());
+            let mut resave_c = Vec::new();
+            restored_c.save_binary(&mut resave_c, SnapshotProfile::Compact).unwrap();
+            prop_assert_eq!(&compact, &resave_c, "Compact re-save diverged at t={}", t);
+        }
+
+        // An Exact restore taken now must track the live engine through a
+        // continuation stream: decayed state byte-identical, index distances
+        // equal up to last-ulp rounding (the restore derives `1/S*` afresh,
+        // so post-restore repairs can differ from the live engine's
+        // accumulated rescale products in the final bits).
+        let mut exact = Vec::new();
+        engine.save_binary(&mut exact, SnapshotProfile::Exact).unwrap();
+        let mut restored = AncEngine::load_binary(exact.as_slice()).unwrap();
+        for (event, dt) in &events {
+            t += dt;
+            apply(&mut engine, event, t);
+            apply(&mut restored, event, t);
+            prop_assert!(restored.check_invariants().is_ok());
+        }
+        let (a, b) = (engine.to_snapshot(), restored.to_snapshot());
+        prop_assert_eq!(a.activations, b.activations);
+        prop_assert_eq!(a.rescales, b.rescales);
+        prop_assert_eq!(
+            serde_json::to_string(&a.activeness).unwrap(),
+            serde_json::to_string(&b.activeness).unwrap(),
+            "activeness diverged under continuation"
+        );
+        prop_assert_eq!(
+            serde_json::to_string(&a.sim).unwrap(),
+            serde_json::to_string(&b.sim).unwrap(),
+            "similarity diverged under continuation"
+        );
+        for p in 0..engine.pyramids().k() {
+            for l in 0..engine.num_levels() {
+                for v in 0..engine.graph().n() as u32 {
+                    let (da, db) = (
+                        engine.pyramids().partition(p, l).dist(v),
+                        restored.pyramids().partition(p, l).dist(v),
+                    );
+                    // Exact equality covers matching infinities on nodes
+                    // unreachable from every seed (∞ − ∞ is NaN).
+                    prop_assert!(da == db || (da - db).abs() <= 1e-9 * (1.0 + db.abs()),
                         "pyramid {} level {} node {}: {} vs {}", p, l, v, da, db);
                 }
             }

@@ -117,6 +117,35 @@ impl DecayClock {
             || self.lambda * (self.now - self.anchor) >= self.cfg.exponent_guard
     }
 
+    /// Decomposes the clock into its raw persisted fields (for the compact
+    /// binary snapshot codec; see `anc-core::persist::binary`).
+    pub fn to_parts(&self) -> ClockParts {
+        ClockParts {
+            lambda: self.lambda,
+            now: self.now,
+            anchor: self.anchor,
+            cfg: self.cfg,
+            activations_since_rescale: self.activations_since_rescale,
+        }
+    }
+
+    /// Reassembles a clock from persisted fields. Inverse of
+    /// [`DecayClock::to_parts`]; restores the exact rescale-trigger state.
+    ///
+    /// # Panics
+    /// Panics if `lambda` is negative or non-finite (same contract as
+    /// [`DecayClock::with_config`]).
+    pub fn from_parts(parts: ClockParts) -> Self {
+        assert!(parts.lambda >= 0.0 && parts.lambda.is_finite(), "lambda must be finite and >= 0");
+        Self {
+            lambda: parts.lambda,
+            now: parts.now,
+            anchor: parts.anchor,
+            cfg: parts.cfg,
+            activations_since_rescale: parts.activations_since_rescale,
+        }
+    }
+
     /// Performs the clock side of a batched rescale: returns the factor `g`
     /// that every anchored store must absorb (via [`crate::Rescalable`]) and
     /// resets `t* ← t`.
@@ -126,6 +155,22 @@ impl DecayClock {
         self.activations_since_rescale = 0;
         g
     }
+}
+
+/// The raw persisted fields of a [`DecayClock`] (see
+/// [`DecayClock::to_parts`] / [`DecayClock::from_parts`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ClockParts {
+    /// Decay parameter λ.
+    pub lambda: f64,
+    /// Current time `t`.
+    pub now: Time,
+    /// Anchor time `t*`.
+    pub anchor: Time,
+    /// Batched-rescale policy.
+    pub cfg: RescaleConfig,
+    /// Activations processed since the last rescale.
+    pub activations_since_rescale: usize,
 }
 
 #[cfg(test)]

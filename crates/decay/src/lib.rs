@@ -43,7 +43,7 @@ mod raw;
 mod store;
 pub mod window;
 
-pub use clock::{DecayClock, RescaleConfig};
+pub use clock::{ClockParts, DecayClock, RescaleConfig};
 pub use maintain::{absorb, MaintainClass, Rescalable};
 pub use raw::RawActivations;
 pub use store::ActivenessStore;

@@ -56,6 +56,12 @@ impl ActivenessStore {
         &self.anchored
     }
 
+    /// Rebuilds a store from a persisted anchored array (inverse of
+    /// [`ActivenessStore::as_slice`]; used by the binary snapshot codec).
+    pub fn from_anchored(anchored: Vec<f64>) -> Self {
+        Self { anchored }
+    }
+
     /// Heap bytes used.
     pub fn memory_bytes(&self) -> usize {
         self.anchored.len() * std::mem::size_of::<f64>()

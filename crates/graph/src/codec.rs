@@ -1,0 +1,422 @@
+//! Compact binary codec primitives shared by the persistence layer.
+//!
+//! Everything here is hand-rolled (the workspace is offline): LEB128
+//! varints, zigzag signed varints, raw little-endian IEEE-754 floats, a
+//! table-driven CRC-32 (IEEE/ISO-HDLC polynomial, the same one zlib and
+//! PNG use), and a bounds-checked [`Reader`] over a byte slice. The
+//! snapshot and WAL formats in `anc-core::persist` are built entirely from
+//! these primitives, plus [`encode_graph`]/[`decode_graph`] which
+//! delta-encode the CSR topology from the canonical sorted edge list.
+//!
+//! Encoders append to a `Vec<u8>`; decoders read from a [`Reader`] and
+//! return a typed [`CodecError`] on malformed input — no panics on any
+//! byte sequence.
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Typed decode failure. Carried upward into
+/// `anc_core::persist::RestoreError::Codec`-style variants by callers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the value being decoded was complete.
+    UnexpectedEof {
+        /// Byte offset at which more input was required.
+        offset: usize,
+    },
+    /// A varint ran past 10 bytes or overflowed the target width.
+    VarintOverflow {
+        /// Byte offset at which decoding of the varint began.
+        offset: usize,
+    },
+    /// A decoded value was structurally invalid for its context.
+    Invalid {
+        /// Human-readable description of the violated constraint.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { offset } => {
+                write!(f, "unexpected end of input at byte {offset}")
+            }
+            CodecError::VarintOverflow { offset } => {
+                write!(f, "varint overflow at byte {offset}")
+            }
+            CodecError::Invalid { what } => write!(f, "invalid encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3 polynomial, reflected), table generated at compile time
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `data`. Matches zlib's `crc32(0, data)`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Encoders (append to Vec<u8>)
+// ---------------------------------------------------------------------------
+
+/// Appends one byte.
+#[inline]
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Appends a fixed-width little-endian `u32`.
+#[inline]
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a fixed-width little-endian `u64`.
+#[inline]
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an LEB128 varint (1–10 bytes, small values small).
+#[inline]
+pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8 & 0x7F) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Appends a zigzag-mapped signed varint (`0 → 0, -1 → 1, 1 → 2, …`).
+#[inline]
+pub fn put_ivarint(out: &mut Vec<u8>, v: i64) {
+    put_uvarint(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+/// Appends an `f64` as its raw IEEE-754 bits, little-endian. Exact: the
+/// round-trip is bit-identical, including NaN payloads and signed zeros.
+#[inline]
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Appends an `f32` as its raw IEEE-754 bits, little-endian.
+#[inline]
+pub fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked cursor over a byte slice; every read either advances or
+/// returns a typed [`CodecError`].
+#[derive(Clone, Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    #[inline]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the cursor is at the end of the input.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof { offset: self.pos });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Reads a fixed-width little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a fixed-width little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads an LEB128 varint.
+    pub fn uvarint(&mut self) -> Result<u64, CodecError> {
+        let start = self.pos;
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8().map_err(|_| CodecError::UnexpectedEof { offset: start })?;
+            if shift == 63 && b > 1 {
+                return Err(CodecError::VarintOverflow { offset: start });
+            }
+            v |= u64::from(b & 0x7F) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(CodecError::VarintOverflow { offset: start });
+            }
+        }
+    }
+
+    /// Reads a varint expected to fit in `usize`.
+    pub fn uvarint_len(&mut self) -> Result<usize, CodecError> {
+        let start = self.pos;
+        let v = self.uvarint()?;
+        usize::try_from(v).map_err(|_| CodecError::VarintOverflow { offset: start })
+    }
+
+    /// Reads a zigzag-mapped signed varint.
+    pub fn ivarint(&mut self) -> Result<i64, CodecError> {
+        let z = self.uvarint()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    /// Reads a raw-bits little-endian `f64`.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a raw-bits little-endian `f32`.
+    pub fn f32(&mut self) -> Result<f32, CodecError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Graph topology codec
+// ---------------------------------------------------------------------------
+
+/// Appends the graph topology, delta-encoded.
+///
+/// Layout: `uvarint n`, `uvarint m`, then per edge in canonical order
+/// (edge id order, which is lexicographic `(u, v)` with `u < v`):
+/// `uvarint Δu` (gap from the previous edge's `u`), then `uvarint v-u-1`
+/// when `u` advanced else `uvarint Δv-1` (gap from the previous `v`; `v`
+/// is strictly increasing within a `u` run). Neighbor gaps on scale-free
+/// and community graphs are small, so most edges cost 2–3 bytes against
+/// the 16 the raw endpoint pair would take.
+pub fn encode_graph(g: &Graph, out: &mut Vec<u8>) {
+    put_uvarint(out, g.n() as u64);
+    put_uvarint(out, g.m() as u64);
+    let mut prev_u: u64 = 0;
+    let mut prev_v: u64 = 0;
+    for (_, u, v) in g.iter_edges() {
+        let (u, v) = (u as u64, v as u64);
+        let du = u - prev_u;
+        put_uvarint(out, du);
+        if du > 0 {
+            put_uvarint(out, v - u - 1);
+        } else {
+            put_uvarint(out, v - prev_v - 1);
+        }
+        prev_u = u;
+        prev_v = v;
+    }
+}
+
+/// Decodes a graph written by [`encode_graph`].
+///
+/// The edge list is reconstructed in canonical order and rebuilt through
+/// [`GraphBuilder`], so the resulting CSR arrays are identical to the
+/// original's (edge ids are positions in the sorted, deduplicated edge
+/// list — an invariant of the builder).
+pub fn decode_graph(r: &mut Reader<'_>) -> Result<Graph, CodecError> {
+    let n = r.uvarint_len()?;
+    let m = r.uvarint_len()?;
+    if n > NodeId::MAX as usize {
+        return Err(CodecError::Invalid { what: format!("node count {n} exceeds NodeId range") });
+    }
+    let mut b = GraphBuilder::with_capacity(n, m);
+    let mut prev_u: u64 = 0;
+    let mut prev_v: u64 = 0;
+    for e in 0..m {
+        let du = r.uvarint()?;
+        let u = prev_u + du;
+        let v = if du > 0 { u + 1 + r.uvarint()? } else { prev_v + 1 + r.uvarint()? };
+        if v as usize >= n {
+            return Err(CodecError::Invalid {
+                what: format!("edge {e}: endpoint {v} out of range for n = {n}"),
+            });
+        }
+        b.add_edge(u as NodeId, v as NodeId);
+        prev_u = u;
+        prev_v = v;
+    }
+    let g = b.build();
+    if g.m() != m {
+        return Err(CodecError::Invalid {
+            what: format!("decoded edge list collapsed to {} edges, header said {m}", g.m()),
+        });
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn varint_roundtrip_edges() {
+        let cases = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX - 1, u64::MAX];
+        for &v in &cases {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.uvarint().unwrap(), v);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn ivarint_roundtrip() {
+        for &v in &[0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            put_ivarint(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.ivarint().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        // 11 continuation bytes can never be a valid u64 varint.
+        let buf = [0xFFu8; 11];
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.uvarint(), Err(CodecError::VarintOverflow { .. })));
+    }
+
+    #[test]
+    fn truncated_reads_are_eof() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 42);
+        let mut r = Reader::new(&buf[..5]);
+        assert!(matches!(r.u64(), Err(CodecError::UnexpectedEof { offset: 0 })));
+        let mut r = Reader::new(&[0x80u8]);
+        assert!(matches!(r.uvarint(), Err(CodecError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn float_bits_exact() {
+        for &v in &[0.0f64, -0.0, 1.5, f64::NAN, f64::INFINITY, f64::MIN_POSITIVE] {
+            let mut buf = Vec::new();
+            put_f64(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.f64().unwrap().to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn graph_roundtrip_identical_csr() {
+        let g = crate::gen::barabasi_albert(500, 3, 7);
+        let mut buf = Vec::new();
+        encode_graph(&g, &mut buf);
+        let mut r = Reader::new(&buf);
+        let h = decode_graph(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(g.n(), h.n());
+        assert_eq!(g.m(), h.m());
+        for v in 0..g.n() as NodeId {
+            assert_eq!(g.neighbors(v), h.neighbors(v));
+            assert_eq!(g.neighbor_edge_ids(v), h.neighbor_edge_ids(v));
+        }
+        for (e, u, v) in g.iter_edges() {
+            assert_eq!(h.endpoints(e), (u, v));
+        }
+        // Far smaller than the 16-byte raw pair encoding.
+        assert!(buf.len() < g.m() * 8, "{} bytes for m = {}", buf.len(), g.m());
+    }
+
+    #[test]
+    fn graph_decode_rejects_bad_endpoint() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut buf = Vec::new();
+        encode_graph(&g, &mut buf);
+        // Corrupt the node count down so edge endpoints fall out of range.
+        let mut r = Reader::new(&buf);
+        let _n = r.uvarint().unwrap();
+        let rest = buf[r.position()..].to_vec();
+        let mut bad = Vec::new();
+        put_uvarint(&mut bad, 2); // n = 2, but edge (1, 2) needs n >= 3
+        bad.extend_from_slice(&rest);
+        let mut r = Reader::new(&bad);
+        assert!(matches!(decode_graph(&mut r), Err(CodecError::Invalid { .. })));
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let g = Graph::from_edges(0, &[]);
+        let mut buf = Vec::new();
+        encode_graph(&g, &mut buf);
+        let mut r = Reader::new(&buf);
+        let h = decode_graph(&mut r).unwrap();
+        assert_eq!(h.n(), 0);
+        assert_eq!(h.m(), 0);
+    }
+}
