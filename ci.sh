@@ -13,9 +13,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo run -p anc-audit --release (determinism + hot-path lint pass)"
-# JSON report lands in results/audit.json; a nonzero exit (deny-tier finding
-# or an A5/A7 ratchet regression) fails CI, echoing the report first.
+echo "==> cargo run -p anc-audit --release (determinism + concurrency + hot-path lint pass)"
+# JSON report lands in results/audit.json — including the A9 lock-acquisition
+# edges and every A9/A10/A11 concurrency finding; a nonzero exit (deny-tier
+# finding or an A5/A7 ratchet regression) fails CI, echoing the report first.
 mkdir -p results
 cargo run -p anc-audit --release -- --format json > results/audit.json || {
     echo "audit failed; report follows:"
@@ -60,5 +61,25 @@ for t in 1 4; do
     RAYON_NUM_THREADS=$t cargo test -p anc-core --test batch_determinism \
         --test cache_determinism --test prop_batch -q
 done
+
+echo "==> seeded audit-violation suites (reachability + concurrency fixtures)"
+# The audit's deny rules run against trees seeded with known violations so
+# a silently-pass regression in the analyses themselves fails CI: each rule
+# must fire with the right attribution, and each justified allow must clear
+# it (A1–A8 in seeded_violation/seeded_reachability, A9–A11 in
+# seeded_concurrency, plus the --explain surface).
+cargo test -p anc-audit --test seeded_violation --test seeded_reachability \
+    --test seeded_concurrency --test prop_lexer -q
+
+echo "==> stress-schedules: perturbed-schedule determinism at fixed seeds"
+# The pool's seeded yield-injection hooks (vendor/rayon/src/stress.rs) force
+# adversarial interleavings; the suites assert byte-identical snapshots and
+# extractions against the unperturbed 1-thread reference at 2/4/8 threads.
+# The outer RAYON_NUM_THREADS=4 pins the pool size the harness itself (and
+# any path outside the internal sweep) starts under.
+RAYON_NUM_THREADS=4 cargo test -p rayon --features stress-schedules \
+    --test stress_schedules -q
+RAYON_NUM_THREADS=4 cargo test -p anc-core --features stress-schedules \
+    --test stress_determinism -q
 
 echo "CI OK"

@@ -464,7 +464,12 @@ fn mark_attr_spans(tokens: &[Token], marker: &str, out_lines: &mut [bool]) {
 
 /// Index of the token matching the opener at `open` (which must be `open_p`),
 /// honoring nesting.
-fn matching(tokens: &[Token], open: usize, open_p: &str, close_p: &str) -> Option<usize> {
+pub(crate) fn matching(
+    tokens: &[Token],
+    open: usize,
+    open_p: &str,
+    close_p: &str,
+) -> Option<usize> {
     let mut depth = 0usize;
     for (k, t) in tokens.iter().enumerate().skip(open) {
         if t.is_punct(open_p) {
@@ -523,6 +528,22 @@ pub fn suppressed_rules(raw_line: &str) -> Vec<String> {
         return Vec::new();
     };
     rest[..close].split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect()
+}
+
+/// Lock name named by an `audit:lock(<name>)` marker on this *raw* line.
+///
+/// The concurrency rules (A9/A11) infer a lock's identity from the
+/// receiver ident at the acquisition site (`shared.deques.lock()` → lock
+/// `deques`). When that inference is wrong — typically an indexed element
+/// lock (`deques[i].lock()`) that must not share a node with the list lock
+/// — the site carries `// audit:lock(<name>)` to name the lock explicitly.
+/// Looked up on the raw line because the marker lives in a comment.
+pub fn lock_name_override(raw_line: &str) -> Option<String> {
+    let at = raw_line.find("audit:lock(")?;
+    let rest = &raw_line[at + "audit:lock(".len()..];
+    let close = rest.find(')')?;
+    let name = rest[..close].trim();
+    (!name.is_empty()).then(|| name.to_string())
 }
 
 #[cfg(test)]
@@ -661,5 +682,16 @@ mod tests {
         );
         assert!(suppressed_rules("plain code line").is_empty());
         assert!(suppressed_rules("// audit:allow( unclosed").is_empty());
+    }
+
+    #[test]
+    fn lock_name_override_parsing() {
+        assert_eq!(
+            lock_name_override("deques[i].lock(); // audit:lock(deque) -- element lock"),
+            Some("deque".to_string())
+        );
+        assert_eq!(lock_name_override("plain code line"), None);
+        assert_eq!(lock_name_override("// audit:lock( unclosed"), None);
+        assert_eq!(lock_name_override("// audit:lock()"), None);
     }
 }

@@ -30,8 +30,9 @@
 //!   carries `// audit:allow(unsafe-block) -- <reason>`; today the only
 //!   allowed sites are the thread pool's lifetime erasure in
 //!   `vendor/rayon/src/pool.rs`.
-//! * `unwrap-budget` (A5) — `.unwrap()`/`.expect(` in non-test `core` code
-//!   is a warn-tier budget ratcheted against a checked-in baseline
+//! * `unwrap-budget` (A5) — `.unwrap()`/`.expect(` in non-test code of the
+//!   hot-path crates (`core`, `decay`, `graph`) is a warn-tier budget
+//!   ratcheted against a checked-in baseline
 //!   (`crates/audit/baseline_a5.txt`): per-file counts may only decrease.
 //!
 //! Reachability rules (stage 2, on the call graph):
@@ -45,6 +46,18 @@
 //!   entry point ([`callgraph::ALLOC_ROOTS`]). Warn-tier, per-file ratchet
 //!   against `crates/audit/baseline_a7.txt`; the fix is usually reuse via
 //!   the `ScratchPool`.
+//!
+//! Concurrency rules (stage 3, [`concurrency`]; DESIGN.md §12):
+//!
+//! * `lock-order` (A9) — cycles in the interprocedural lock-acquisition
+//!   graph are potential deadlocks and deny-tier, as are Condvar waits
+//!   taken while holding a lock other than the wait's own guard.
+//! * `atomic-ordering` (A10) — `Relaxed` atomics participating in a
+//!   publish/consume handshake (mixed with stronger orderings on the same
+//!   atomic, or an all-Relaxed store+load flag) are deny-tier.
+//! * `blocking-in-reader` (A11) — blocking sites (lock acquisition,
+//!   Condvar wait, channel recv, `park`, pool dispatch) reachable from a
+//!   wait-free query root ([`callgraph::QUERY_ROOTS`]) are deny-tier.
 //!
 //! A finding on a line is suppressed by `// audit:allow(<rule>) -- <reason>`
 //! on the same line or the line directly above. The lexer blanks string
@@ -61,6 +74,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 pub mod callgraph;
+pub mod concurrency;
 pub mod lexer;
 
 use callgraph::{extract_fns, CallGraph, FnItem, ALLOC_ROOTS, CALL_GRAPH_CRATES, PANIC_ROOTS};
@@ -72,8 +86,9 @@ pub const ORDER_SENSITIVE_CRATES: &[&str] = &["core", "decay", "graph"];
 /// Crates allowed to read wall clocks and OS RNGs.
 pub const WALL_CLOCK_EXEMPT_CRATES: &[&str] = &["bench", "cli"];
 
-/// The crate whose non-test `unwrap()`/`expect()` count is budgeted.
-pub const UNWRAP_BUDGET_CRATE: &str = "core";
+/// Crates whose non-test `unwrap()`/`expect()` count is budgeted (A5) —
+/// the same hot-path crates the call graph covers.
+pub const UNWRAP_BUDGET_CRATES: &[&str] = &["core", "decay", "graph"];
 
 /// Repo-relative path of the A5 (unwrap-budget) baseline file.
 pub const BASELINE_PATH: &str = "crates/audit/baseline_a5.txt";
@@ -85,7 +100,8 @@ pub const BASELINE_A7_PATH: &str = "crates/audit/baseline_a7.txt";
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
     /// Rule id (`hash-iter`, `float-cmp`, `wall-clock`, `forbid-unsafe`,
-    /// `unsafe-block`, `unwrap-budget`, `panic-path`, `hot-alloc`).
+    /// `unwrap-budget`, `panic-path`, `hot-alloc`, `unsafe-block`,
+    /// `lock-order`, `atomic-ordering`, `blocking-in-reader`).
     pub rule: &'static str,
     /// Repo-relative file path.
     pub file: String,
@@ -99,6 +115,158 @@ impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
     }
+}
+
+/// Documentation for one audit rule, printed by `anc-audit --explain`.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleDoc {
+    /// Short id (`A1`…`A11`).
+    pub id: &'static str,
+    /// The rule name used in findings and `audit:allow(...)`.
+    pub rule: &'static str,
+    /// Why the rule exists (one paragraph).
+    pub rationale: &'static str,
+    /// A representative finding message.
+    pub example: &'static str,
+    /// How to suppress a justified site.
+    pub suppression: &'static str,
+}
+
+const ALLOW_LINE: &str =
+    "// audit:allow(<rule>) -- <reason> on the flagged line or the line above \
+                          (the reason is mandatory)";
+
+/// Every audit rule, in id order (`--explain <rule>` looks up here).
+pub const RULES: &[RuleDoc] = &[
+    RuleDoc {
+        id: "A1",
+        rule: "hash-iter",
+        rationale: "HashMap/HashSet iteration order is randomly seeded per process; iterating one \
+                    in the determinism-sensitive crates (core, decay, graph) makes state mutation \
+                    depend on the seed and breaks byte-identical snapshots. Use BTreeMap/BTreeSet \
+                    or sort before iterating.",
+        example: "crates/core/src/x.rs:4: [hash-iter] .iter() over hash collection `m` — \
+                  iteration order is randomly seeded per process",
+        suppression: ALLOW_LINE,
+    },
+    RuleDoc {
+        id: "A2",
+        rule: "float-cmp",
+        rationale: ".partial_cmp() on floats is partial: NaN yields None, which panics under \
+                    unwrap or silently destabilizes sort orders. f64::total_cmp is total and \
+                    deterministic.",
+        example: "crates/bench/src/x.rs:2: [float-cmp] .partial_cmp() on floats is partial \
+                  (NaN ⇒ None/panic/unstable order); use total_cmp",
+        suppression: ALLOW_LINE,
+    },
+    RuleDoc {
+        id: "A3",
+        rule: "wall-clock",
+        rationale: "Instant::now/SystemTime::now/thread_rng are nondeterministic inputs; replay \
+                    and cross-thread-count identity require the logical decay clock and seeded \
+                    ChaCha streams. Only bench and cli may read real clocks.",
+        example: "crates/core/src/x.rs:2: [wall-clock] Instant::now is a nondeterministic input \
+                  — use the logical decay clock / seeded ChaCha (or move this to bench/cli)",
+        suppression: ALLOW_LINE,
+    },
+    RuleDoc {
+        id: "A4",
+        rule: "forbid-unsafe",
+        rationale: "Every crate root must carry #![forbid(unsafe_code)] so new unsafe cannot land \
+                    silently; the vendored pool crate alone downgrades to #![deny(unsafe_code)] \
+                    because it holds the workspace's audited unsafe exemptions (A8).",
+        example: "crates/core/src/lib.rs:1: [forbid-unsafe] crate root lacks \
+                  #![forbid(unsafe_code)] (or #![deny(unsafe_code)])",
+        suppression: "add the attribute; there is no inline allow for this rule",
+    },
+    RuleDoc {
+        id: "A5",
+        rule: "unwrap-budget",
+        rationale: "unwrap()/expect() in non-test hot-path code (core, decay, graph) turns \
+                    recoverable conditions into panics. The per-file count ratchets against \
+                    crates/audit/baseline_a5.txt: it may only decrease (re-bless with --bless \
+                    after removing sites).",
+        example: "crates/core/src/engine.rs:0: [unwrap-budget] 3 unwrap()/expect() calls exceed \
+                  the baseline of 2",
+        suppression: ALLOW_LINE,
+    },
+    RuleDoc {
+        id: "A6",
+        rule: "panic-path",
+        rationale: "panic!/unreachable!/todo!/unwrap/expect in any function reachable from a hot \
+                    entry point (activation ingest, decay maintenance) can abort the engine \
+                    mid-update; hot paths return Results or prove unreachability.",
+        example: "crates/core/src/engine.rs:42: [panic-path] .unwrap() in `AncEngine::activate` \
+                  can panic on the hot path (AncEngine::activate → …)",
+        suppression: ALLOW_LINE,
+    },
+    RuleDoc {
+        id: "A7",
+        rule: "hot-alloc",
+        rationale: "Vec::new/vec![/.collect()/.to_vec()/Box::new/format! in functions reachable \
+                    from a per-activation root allocates on every activation, defeating the \
+                    paper's bounded-maintenance claim. Counts ratchet against \
+                    crates/audit/baseline_a7.txt; the fix is ScratchPool reuse.",
+        example: "crates/core/src/engine.rs:77: [hot-alloc] Vec::new in `AncEngine::activate` \
+                  allocates per activation (…); reuse a ScratchPool buffer",
+        suppression: ALLOW_LINE,
+    },
+    RuleDoc {
+        id: "A8",
+        rule: "unsafe-block",
+        rationale: "Every `unsafe` token (block, fn, impl) anywhere in the tree is deny-tier \
+                    until individually audited with a written safety argument; today the only \
+                    audited sites are the pool's scoped-lifetime erasure in vendor/rayon.",
+        example: "vendor/rayon/src/pool.rs:88: [unsafe-block] `unsafe` requires an individual \
+                  audit",
+        suppression: "// audit:allow(unsafe-block) -- <safety argument>",
+    },
+    RuleDoc {
+        id: "A9",
+        rule: "lock-order",
+        rationale: "Two threads acquiring the same locks in opposite orders deadlock. The audit \
+                    extracts every lock/Condvar acquisition, propagates held-lock sets over the \
+                    call graph, and denies any cycle in the lock-acquisition graph, reporting \
+                    the full acquisition chain. Condvar waits while holding another lock are \
+                    denied directly (the wait releases only its own guard's mutex). Locks are \
+                    identified by receiver name; rename ambiguous receivers with \
+                    `// audit:lock(<name>)`.",
+        example: "vendor/rayon/src/pool.rs:190: [lock-order] potential deadlock: \
+                  lock-acquisition cycle deques → sleep → deques; `deques` then `sleep` at \
+                  vendor/rayon/src/pool.rs:190 (in run_tasks); …",
+        suppression: ALLOW_LINE,
+    },
+    RuleDoc {
+        id: "A10",
+        rule: "atomic-ordering",
+        rationale: "The Relaxed side of a publish/consume handshake synchronizes nothing: a \
+                    Relaxed store before an Acquire load (or an all-Relaxed store+load flag) \
+                    publishes no data and reorders freely. Sites on the same atomic (same file \
+                    and receiver) must agree on an ordering discipline; all-Relaxed RMW-only \
+                    counters are fine.",
+        example: "vendor/rayon/src/pool.rs:131: [atomic-ordering] `poisoned.store` uses \
+                  Ordering::Relaxed while `poisoned`'s other sites here use Acquire",
+        suppression: ALLOW_LINE,
+    },
+    RuleDoc {
+        id: "A11",
+        rule: "blocking-in-reader",
+        rationale: "The wait-free query roots (cluster_all_cached, same_cluster, cache Arc \
+                    snapshot reads) must answer from snapshot state without blocking: a lock, \
+                    Condvar wait, channel recv, park, or pool dispatch reachable from a reader \
+                    stalls every concurrent query behind the writer. The epoch'd-Arc read \
+                    discipline the serving layer depends on is machine-checked here.",
+        example: "crates/core/src/cache.rs:103: [blocking-in-reader] pool dispatch `par_iter` \
+                  in `ClusterCache::fill_level` is reachable from a wait-free query root \
+                  (AncEngine::cluster_all_cached → …)",
+        suppression: ALLOW_LINE,
+    },
+];
+
+/// Looks up a rule doc by rule name (`lock-order`) or short id (`A9`,
+/// case-insensitive).
+pub fn explain(rule: &str) -> Option<&'static RuleDoc> {
+    RULES.iter().find(|r| r.rule == rule || r.id.eq_ignore_ascii_case(rule))
 }
 
 /// Result of scanning one source file (line rules only; reachability rules
@@ -151,7 +319,7 @@ fn scan_lexed(
 
     let hash_iter_applies = ORDER_SENSITIVE_CRATES.contains(&crate_name);
     let wall_clock_applies = !WALL_CLOCK_EXEMPT_CRATES.contains(&crate_name);
-    let unwrap_applies = crate_name == UNWRAP_BUDGET_CRATE;
+    let unwrap_applies = UNWRAP_BUDGET_CRATES.contains(&crate_name);
 
     // Idents bound to hash collections so far in this file (declarations are
     // file-ordered, so a single forward pass sees every binding before its
@@ -448,6 +616,9 @@ pub struct AuditReport {
     /// The individual A7 allocation sites behind `alloc_counts`, with call
     /// chains (warn-tier detail for reports; not in `findings`).
     pub alloc_sites: Vec<Finding>,
+    /// The lock-acquisition graph assembled by A9 (informational; cycles in
+    /// it are deny-tier findings).
+    pub lock_edges: Vec<concurrency::LockEdge>,
 }
 
 /// Scans every `crates/*/src/**/*.rs` under `root` — plus
@@ -461,6 +632,7 @@ pub struct AuditReport {
 pub fn scan_tree(root: &Path) -> std::io::Result<AuditReport> {
     let mut report = AuditReport::default();
     let mut graph_fns: Vec<FnItem> = Vec::new();
+    let mut rayon_fns: Vec<FnItem> = Vec::new();
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
         .filter_map(|e| e.ok())
@@ -494,6 +666,8 @@ pub fn scan_tree(root: &Path) -> std::io::Result<AuditReport> {
             }
             if CALL_GRAPH_CRATES.contains(&crate_name.as_str()) {
                 graph_fns.extend(extract_fns(&crate_name, &rel, &lexed, &raw_lines));
+            } else if crate_name == "rayon" {
+                rayon_fns.extend(extract_fns(&crate_name, &rel, &lexed, &raw_lines));
             }
         }
     }
@@ -536,6 +710,18 @@ pub fn scan_tree(root: &Path) -> std::io::Result<AuditReport> {
             }
         }
     }
+    // Stage 3: concurrency rules. A9/A10 run on the concurrency graph —
+    // the hot-path crates plus the pool, which owns nearly every lock and
+    // atomic in the workspace — while A11 runs on the pool-free hot-path
+    // graph so that common combinator names (`map`, `collect`, …) cannot
+    // resolve into the pool's internals and blur every reader chain.
+    let mut conc_fns = graph.fns.clone();
+    conc_fns.extend(rayon_fns);
+    let conc = CallGraph::build(conc_fns);
+    let crep = concurrency::analyze(&conc, &graph);
+    report.findings.extend(crep.findings);
+    report.lock_edges = crep.lock_edges;
+
     report.findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     report.alloc_sites.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(report)
@@ -585,7 +771,8 @@ fn render_baseline(header: &str, counts: &BTreeMap<String, usize>) -> String {
 pub fn format_baseline(counts: &BTreeMap<String, usize>) -> String {
     render_baseline(
         "# anc-audit unwrap/expect baseline (rule unwrap-budget / A5).\n\
-         # Per-file counts of .unwrap()/.expect( in non-test anc-core code.\n\
+         # Per-file counts of .unwrap()/.expect( in non-test code of the\n\
+         # hot-path crates (core, decay, graph).\n\
          # The ratchet only goes down: regenerate with `cargo run -p anc-audit -- --bless`\n\
          # after REMOVING unwraps; adding one needs an inline audit:allow with a reason.\n",
         counts,
@@ -804,12 +991,23 @@ mod tests {
     }
 
     #[test]
-    fn unwrap_budget_counts_core_only_and_skips_unwrap_or() {
+    fn unwrap_budget_covers_hot_path_crates_and_skips_unwrap_or() {
         let src = "fn f(x: Option<u32>) -> u32 {\n    let a = x.unwrap();\n    let b = x.expect(\"reason\");\n    let c = x.unwrap_or(0);\n    let d = x.unwrap_or_else(|| 1);\n    a + b + c + d\n}\n";
         let r = scan_source("core", "crates/core/src/x.rs", src);
         assert_eq!(r.unwrap_count, 2, "unwrap_or/unwrap_or_else are not in budget");
         assert!(r.findings.is_empty());
-        assert_eq!(scan_source("graph", "crates/graph/src/x.rs", src).unwrap_count, 0);
+        assert_eq!(scan_source("graph", "crates/graph/src/x.rs", src).unwrap_count, 2);
+        assert_eq!(scan_source("decay", "crates/decay/src/x.rs", src).unwrap_count, 2);
+        assert_eq!(scan_source("bench", "crates/bench/src/x.rs", src).unwrap_count, 0);
+    }
+
+    #[test]
+    fn explain_resolves_rule_names_and_ids() {
+        assert_eq!(explain("lock-order").map(|r| r.id), Some("A9"));
+        assert_eq!(explain("a10").map(|r| r.rule), Some("atomic-ordering"));
+        assert_eq!(explain("A11").map(|r| r.rule), Some("blocking-in-reader"));
+        assert!(explain("no-such-rule").is_none());
+        assert_eq!(RULES.len(), 11, "one doc per rule A1–A11");
     }
 
     #[test]

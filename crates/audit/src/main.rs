@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! cargo run -p anc-audit --release [-- --root <dir>] [--format text|json] [--bless]
+//! cargo run -p anc-audit -- --explain <rule>
 //! ```
 //!
 //! Exits 0 when the tree is clean (no unsuppressed deny-tier findings and
@@ -13,7 +14,10 @@
 //! `crates/audit/baseline_a5.txt` and `crates/audit/baseline_a7.txt` from
 //! the current counts — only do this after *removing* sites; additions need
 //! an inline `audit:allow`. `--format json` emits a machine-readable report
-//! on stdout (consumed by `ci.sh` into `results/audit.json`).
+//! on stdout (consumed by `ci.sh` into `results/audit.json`). `--explain`
+//! prints one rule's rationale, an example finding, and its suppression
+//! syntax, accepting either the rule name (`lock-order`) or the short id
+//! (`A9`); `--explain all` prints every rule.
 
 #![forbid(unsafe_code)]
 
@@ -23,8 +27,8 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use anc_audit::{
-    format_baseline, format_baseline_a7, parse_baseline, ratchet, ratchet_a7, scan_tree, Finding,
-    BASELINE_A7_PATH, BASELINE_PATH,
+    concurrency::LockEdge, explain, format_baseline, format_baseline_a7, parse_baseline, ratchet,
+    ratchet_a7, scan_tree, Finding, RuleDoc, BASELINE_A7_PATH, BASELINE_PATH, RULES,
 };
 
 fn find_root(start: &Path) -> Option<PathBuf> {
@@ -85,6 +89,40 @@ fn json_strings(items: &[String]) -> String {
     format!("[{}]", rows.join(","))
 }
 
+fn json_lock_edges(edges: &[LockEdge]) -> String {
+    let rows: Vec<String> = edges
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"from\":\"{}\",\"to\":\"{}\",\"file\":\"{}\",\"line\":{},\"via\":\"{}\"}}",
+                json_escape(&e.from),
+                json_escape(&e.to),
+                json_escape(&e.file),
+                e.line,
+                json_escape(&e.via)
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
+fn json_rules() -> String {
+    let rows: Vec<String> = RULES
+        .iter()
+        .map(|r| {
+            format!("{{\"id\":\"{}\",\"rule\":\"{}\"}}", json_escape(r.id), json_escape(r.rule))
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
+fn print_rule(doc: &RuleDoc) {
+    println!("{} `{}`", doc.id, doc.rule);
+    println!("  rationale:   {}", doc.rationale);
+    println!("  example:     {}", doc.example);
+    println!("  suppression: {}", doc.suppression);
+}
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut bless = false;
@@ -100,6 +138,33 @@ fn main() -> ExitCode {
                 }
             },
             "--bless" | "--update-baseline" => bless = true,
+            "--explain" => match args.next() {
+                Some(rule) if rule == "all" => {
+                    for doc in RULES {
+                        print_rule(doc);
+                    }
+                    return ExitCode::SUCCESS;
+                }
+                Some(rule) => match explain(&rule) {
+                    Some(doc) => {
+                        print_rule(doc);
+                        return ExitCode::SUCCESS;
+                    }
+                    None => {
+                        eprintln!(
+                            "unknown rule {rule:?}; known: {} (or A1–A11, or `all`)",
+                            RULES.iter().map(|r| r.rule).collect::<Vec<_>>().join(", ")
+                        );
+                        return ExitCode::from(2);
+                    }
+                },
+                None => {
+                    eprintln!(
+                        "--explain needs a rule name (e.g. lock-order), an id (A9), or `all`"
+                    );
+                    return ExitCode::from(2);
+                }
+            },
             "--format" => match args.next().as_deref() {
                 Some("json") => json = true,
                 Some("text") => json = false,
@@ -111,7 +176,7 @@ fn main() -> ExitCode {
             other => {
                 eprintln!(
                     "unknown argument {other:?}; usage: \
-                     anc-audit [--root <dir>] [--format text|json] [--bless]"
+                     anc-audit [--root <dir>] [--format text|json] [--bless] [--explain <rule>]"
                 );
                 return ExitCode::from(2);
             }
@@ -178,12 +243,14 @@ fn main() -> ExitCode {
     if json {
         let error_rows: Vec<Finding> = errors.iter().map(|f| (*f).clone()).collect();
         println!(
-            "{{\"ok\":{ok},\"findings\":{},\"unwrap_counts\":{},\"alloc_counts\":{},\
-             \"alloc_sites\":{},\"notes\":{}}}",
+            "{{\"ok\":{ok},\"rules\":{},\"findings\":{},\"unwrap_counts\":{},\"alloc_counts\":{},\
+             \"alloc_sites\":{},\"lock_edges\":{},\"notes\":{}}}",
+            json_rules(),
             json_findings(&error_rows),
             json_counts(&report.unwrap_counts),
             json_counts(&report.alloc_counts),
             json_findings(&report.alloc_sites),
+            json_lock_edges(&report.lock_edges),
             json_strings(&notes)
         );
     } else {

@@ -1,0 +1,156 @@
+//! Property tests for the audit lexer over adversarial fragment streams:
+//! nested block comments, raw/byte strings, char-vs-lifetime ambiguity, and
+//! suppression comments, interleaved around real `unsafe` and
+//! `Ordering::Relaxed` tokens.
+//!
+//! The invariant under test is the one every rule depends on: a marker
+//! (`unsafe`, `Ordering`) is lexed as an identifier **iff** it appears in
+//! live code — never when it only occurs inside a comment or string
+//! literal, and never lost when real code surrounds arbitrary inert noise.
+
+use anc_audit::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+/// One source fragment, tagged with how many *code-level* `unsafe` /
+/// `Ordering` identifiers it contributes.
+#[derive(Clone, Debug)]
+struct Fragment {
+    text: &'static str,
+    unsafe_idents: usize,
+    ordering_idents: usize,
+}
+
+const FRAGMENTS: &[Fragment] = &[
+    // Inert: markers buried in comments and strings must contribute nothing.
+    Fragment {
+        text: "// unsafe Ordering::Relaxed in a line comment",
+        unsafe_idents: 0,
+        ordering_idents: 0,
+    },
+    Fragment {
+        text: "/* unsafe /* nested Ordering::SeqCst */ still a comment */",
+        unsafe_idents: 0,
+        ordering_idents: 0,
+    },
+    Fragment {
+        text: "/* unsafe spans\nlines Ordering::Relaxed\n*/",
+        unsafe_idents: 0,
+        ordering_idents: 0,
+    },
+    Fragment {
+        text: "let s = \"unsafe Ordering::Relaxed \\\" escaped\";",
+        unsafe_idents: 0,
+        ordering_idents: 0,
+    },
+    Fragment {
+        text: "let r = r#\"unsafe \" Ordering::Relaxed\"#;",
+        unsafe_idents: 0,
+        ordering_idents: 0,
+    },
+    Fragment { text: "let b = b\"unsafe bytes\";", unsafe_idents: 0, ordering_idents: 0 },
+    Fragment {
+        text: "// audit:allow(unsafe-block) -- decoy with no code on the next line",
+        unsafe_idents: 0,
+        ordering_idents: 0,
+    },
+    // Char-vs-lifetime adversaries around the markers.
+    Fragment {
+        text: "let c: char = '\"'; let s: &'static str = \"unsafe\";",
+        unsafe_idents: 0,
+        ordering_idents: 0,
+    },
+    Fragment {
+        text: "fn life<'a>(x: &'a u32) -> &'a u32 { x }",
+        unsafe_idents: 0,
+        ordering_idents: 0,
+    },
+    // Live code: markers that MUST survive lexing.
+    Fragment { text: "unsafe { touch(); }", unsafe_idents: 1, ordering_idents: 0 },
+    Fragment { text: "let o = Ordering::Relaxed;", unsafe_idents: 0, ordering_idents: 1 },
+    Fragment {
+        text: "flag.store(true, Ordering::Release); // unsafe in a trailing comment",
+        unsafe_idents: 0,
+        ordering_idents: 1,
+    },
+    Fragment {
+        text: "unsafe fn wild() { /* Ordering inside */ }",
+        unsafe_idents: 1,
+        ordering_idents: 0,
+    },
+    // Plain filler.
+    Fragment { text: "let x = 1 + 2;", unsafe_idents: 0, ordering_idents: 0 },
+    Fragment { text: "fn plain() -> u32 { 7 }", unsafe_idents: 0, ordering_idents: 0 },
+];
+
+fn fragment() -> impl Strategy<Value = Fragment> {
+    (0..FRAGMENTS.len()).prop_map(|i| FRAGMENTS[i].clone())
+}
+
+/// Delimiter-heavy alphabet for the never-panics smoke test: every byte
+/// that opens or closes a lexical mode, plus filler.
+const NOISE: &[char] =
+    &[' ', '\n', '\'', '"', '/', '*', '#', 'r', 'b', '\\', 'a', '_', '0', '{', '}', ':', '('];
+
+fn count_idents(source: &str, name: &str) -> usize {
+    lex(source).tokens.iter().filter(|t| t.kind == TokenKind::Ident && t.text == name).count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Markers are counted exactly: every code-level `unsafe`/`Ordering`
+    /// survives as an `Ident` token, and none leaks out of comments or
+    /// strings, for any interleaving of adversarial fragments.
+    #[test]
+    fn marker_tokens_match_code_occurrences(frags in proptest::collection::vec(fragment(), 0..32)) {
+        let source: String =
+            frags.iter().map(|f| f.text).collect::<Vec<_>>().join("\n") + "\n";
+        let expected_unsafe: usize = frags.iter().map(|f| f.unsafe_idents).sum();
+        let expected_ordering: usize = frags.iter().map(|f| f.ordering_idents).sum();
+        prop_assert_eq!(count_idents(&source, "unsafe"), expected_unsafe);
+        prop_assert_eq!(count_idents(&source, "Ordering"), expected_ordering);
+    }
+
+    /// Structural sanity on arbitrary fragment streams: one code line per
+    /// source line, token line numbers in bounds and nondecreasing, and no
+    /// comment/string interior text in the blanked code lines.
+    #[test]
+    fn lexed_shape_is_consistent(frags in proptest::collection::vec(fragment(), 0..32)) {
+        let source: String =
+            frags.iter().map(|f| f.text).collect::<Vec<_>>().join("\n") + "\n";
+        let lexed = lex(&source);
+        prop_assert_eq!(lexed.code_lines.len(), source.lines().count());
+        let mut prev = 1;
+        for t in &lexed.tokens {
+            prop_assert!(t.line >= prev, "token lines must be nondecreasing");
+            prop_assert!(t.line <= lexed.code_lines.len());
+            prev = t.line;
+        }
+        // A fragment consisting only of comment/string interiors must not
+        // surface marker text in the code lines.
+        for (i, f) in frags.iter().enumerate() {
+            if f.unsafe_idents == 0 && !f.text.contains("audit:allow") {
+                // Locate this fragment's first line in the joined source.
+                let first_line: usize =
+                    frags[..i].iter().map(|g| g.text.lines().count()).sum::<usize>();
+                let span = f.text.lines().count();
+                for line in &lexed.code_lines[first_line..first_line + span] {
+                    prop_assert!(
+                        !line.contains("unsafe") || f.text.contains("static str"),
+                        "inert fragment leaked `unsafe` into code lines: {:?} -> {:?}",
+                        f.text,
+                        line
+                    );
+                }
+            }
+        }
+    }
+
+    /// The lexer never panics on raw character noise either (smoke: total
+    /// fn over the delimiter-heavy alphabet).
+    #[test]
+    fn lexing_never_panics(idx in proptest::collection::vec(0..NOISE.len(), 0..200)) {
+        let s: String = idx.into_iter().map(|i| NOISE[i]).collect();
+        let _ = lex(&s);
+    }
+}

@@ -1,0 +1,249 @@
+//! Seeded-violation tests for the concurrency rules A9/A10/A11, driving the
+//! **binary** end to end (exit code + JSON attribution), mirroring
+//! `seeded_reachability.rs`:
+//!
+//! * **A9 `lock-order`**: two functions acquiring the same two mutexes in
+//!   opposite orders must fail the audit with the full acquisition chain;
+//! * **A10 `atomic-ordering`**: a `Relaxed` store publishing a flag that is
+//!   consumed with `Acquire` must fail attributed to the Relaxed site;
+//! * **A11 `blocking-in-reader`**: a lock acquisition reachable from
+//!   `AncEngine::cluster_all_cached` must fail with the reader chain.
+//!
+//! Each rule also has a justified-`audit:allow` variant proving the
+//! suppression path (exit 0), and the `--explain` surface is covered for
+//! both lookup forms plus the unknown-rule error.
+//!
+//! Fixture lock/unwrap lines carry `audit:allow(panic-path, unwrap-budget)`
+//! where needed so only the rule under test can fire.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Lays down a minimal workspace at `tmp` with empty A5/A7 baselines and
+/// the given `crates/core/src/engine.rs` body.
+fn seed_tree(tmp: &Path, engine_src: &str) {
+    let core_src = tmp.join("crates/core/src");
+    std::fs::create_dir_all(&core_src).unwrap();
+    std::fs::write(core_src.join("lib.rs"), "#![forbid(unsafe_code)]\npub mod engine;\n").unwrap();
+    std::fs::write(core_src.join("engine.rs"), engine_src).unwrap();
+    let audit_dir = tmp.join("crates/audit");
+    std::fs::create_dir_all(&audit_dir).unwrap();
+    std::fs::write(audit_dir.join("baseline_a5.txt"), "# empty A5 baseline\n").unwrap();
+    std::fs::write(audit_dir.join("baseline_a7.txt"), "# empty A7 baseline\n").unwrap();
+}
+
+/// Runs the audit binary on `root` with `--format json`, returning
+/// `(exit code, stdout)`.
+fn run_audit(root: &Path) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_anc-audit"))
+        .args(["--root", root.to_str().unwrap(), "--format", "json"])
+        .output()
+        .expect("run anc-audit");
+    (out.status.code().expect("exit code"), String::from_utf8(out.stdout).expect("utf8 stdout"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("anc-audit-{tag}-{}", std::process::id()))
+}
+
+/// Two mutexes acquired in opposite orders; `allow_rev` suppresses the
+/// cycle-closing acquisition with a justified `audit:allow(lock-order)`.
+fn deadlock_src(allow_rev: bool) -> String {
+    let allow = if allow_rev {
+        "// audit:allow(lock-order) -- fixture: reverse order is proven unreachable here\n  "
+    } else {
+        ""
+    };
+    format!(
+        "pub struct Pair {{\n\
+           a: std::sync::Mutex<u32>,\n\
+           b: std::sync::Mutex<u32>,\n\
+         }}\n\
+         impl Pair {{\n\
+           pub fn forward(&self) {{\n\
+             let ga = self.a.lock().unwrap(); // audit:allow(unwrap-budget) -- fixture\n\
+             let gb = self.b.lock().unwrap(); // audit:allow(unwrap-budget) -- fixture\n\
+             drop(gb);\n\
+             drop(ga);\n\
+           }}\n\
+           pub fn reverse(&self) {{\n\
+             let gb = self.b.lock().unwrap(); // audit:allow(unwrap-budget) -- fixture\n\
+             {allow}let ga = self.a.lock().unwrap(); // audit:allow(unwrap-budget) -- fixture\n\
+             drop(ga);\n\
+             drop(gb);\n\
+           }}\n\
+         }}\n"
+    )
+}
+
+#[test]
+fn seeded_lock_order_cycle_exits_nonzero_with_the_chain() {
+    let tmp = tmp_dir("a9");
+    seed_tree(&tmp, &deadlock_src(false));
+    let (code, stdout) = run_audit(&tmp);
+    std::fs::remove_dir_all(&tmp).unwrap();
+
+    assert_eq!(code, 1, "an acquisition cycle must fail the audit; stdout: {stdout}");
+    assert!(stdout.contains("\"rule\":\"lock-order\""), "must attribute to A9: {stdout}");
+    assert!(stdout.contains("potential deadlock"), "{stdout}");
+    assert!(
+        stdout.contains("Pair::forward") && stdout.contains("Pair::reverse"),
+        "the chain must name both witnesses: {stdout}"
+    );
+    // Both lock-graph edges are reported alongside the finding.
+    assert!(
+        stdout.contains("\"from\":\"a\",\"to\":\"b\"")
+            && stdout.contains("\"from\":\"b\",\"to\":\"a\""),
+        "lock_edges must carry the cycle: {stdout}"
+    );
+}
+
+#[test]
+fn seeded_lock_order_allow_clears_the_cycle() {
+    let tmp = tmp_dir("a9-allow");
+    seed_tree(&tmp, &deadlock_src(true));
+    let (code, stdout) = run_audit(&tmp);
+    std::fs::remove_dir_all(&tmp).unwrap();
+    assert_eq!(code, 0, "a justified allow must clear A9; stdout: {stdout}");
+    assert!(stdout.contains("\"ok\":true"), "{stdout}");
+}
+
+#[test]
+fn seeded_relaxed_publish_exits_nonzero_at_the_relaxed_site() {
+    let tmp = tmp_dir("a10");
+    seed_tree(
+        &tmp,
+        "use std::sync::atomic::{AtomicBool, Ordering};\n\
+         pub struct Flag {\n\
+           ready: AtomicBool,\n\
+         }\n\
+         impl Flag {\n\
+           pub fn publish(&self) {\n\
+             self.ready.store(true, Ordering::Relaxed);\n\
+           }\n\
+           pub fn consume(&self) -> bool {\n\
+             self.ready.load(Ordering::Acquire)\n\
+           }\n\
+         }\n",
+    );
+    let (code, stdout) = run_audit(&tmp);
+    std::fs::remove_dir_all(&tmp).unwrap();
+
+    assert_eq!(code, 1, "a Relaxed publish must fail the audit; stdout: {stdout}");
+    assert!(stdout.contains("\"rule\":\"atomic-ordering\""), "must attribute to A10: {stdout}");
+    // Attributed to the store line (7), not the Acquire side.
+    assert!(stdout.contains("\"line\":7"), "must flag the Relaxed site: {stdout}");
+    assert!(stdout.contains("Flag::publish") && stdout.contains("Acquire"), "{stdout}");
+}
+
+#[test]
+fn seeded_relaxed_publish_allow_clears_it() {
+    let tmp = tmp_dir("a10-allow");
+    seed_tree(
+        &tmp,
+        "use std::sync::atomic::{AtomicBool, Ordering};\n\
+         pub struct Flag {\n\
+           ready: AtomicBool,\n\
+         }\n\
+         impl Flag {\n\
+           pub fn publish(&self) {\n\
+             // audit:allow(atomic-ordering) -- fixture: no data is guarded by this flag\n\
+             self.ready.store(true, Ordering::Relaxed);\n\
+           }\n\
+           pub fn consume(&self) -> bool {\n\
+             self.ready.load(Ordering::Acquire)\n\
+           }\n\
+         }\n",
+    );
+    let (code, stdout) = run_audit(&tmp);
+    std::fs::remove_dir_all(&tmp).unwrap();
+    assert_eq!(code, 0, "a justified allow must clear A10; stdout: {stdout}");
+    assert!(stdout.contains("\"ok\":true"), "{stdout}");
+}
+
+/// A lock two calls below the wait-free root; `allowed` suppresses it (the
+/// allow must sit on the line directly above the lock, so all suppressed
+/// rules share one comment).
+fn reader_src(allowed: bool) -> String {
+    let rules = if allowed {
+        "blocking-in-reader, panic-path, unwrap-budget"
+    } else {
+        "panic-path, unwrap-budget"
+    };
+    format!(
+        "pub struct AncEngine {{\n\
+           state: std::sync::Mutex<u32>,\n\
+         }}\n\
+         impl AncEngine {{\n\
+           pub fn cluster_all_cached(&self) -> u32 {{\n\
+             self.read_state()\n\
+           }}\n\
+           fn read_state(&self) -> u32 {{\n\
+             // audit:allow({rules}) -- fixture: cold path, pre-publication\n\
+             *self.state.lock().unwrap()\n\
+           }}\n\
+         }}\n"
+    )
+}
+
+#[test]
+fn seeded_lock_under_query_root_exits_nonzero_with_the_chain() {
+    let tmp = tmp_dir("a11");
+    seed_tree(&tmp, &reader_src(false));
+    let (code, stdout) = run_audit(&tmp);
+    std::fs::remove_dir_all(&tmp).unwrap();
+
+    assert_eq!(code, 1, "a blocking reader must fail the audit; stdout: {stdout}");
+    assert!(stdout.contains("\"rule\":\"blocking-in-reader\""), "must attribute to A11: {stdout}");
+    assert!(
+        stdout.contains("AncEngine::cluster_all_cached → AncEngine::read_state")
+            || stdout.contains("AncEngine::cluster_all_cached \\u2192 AncEngine::read_state"),
+        "the finding must carry the reader chain: {stdout}"
+    );
+}
+
+#[test]
+fn seeded_lock_under_query_root_allow_clears_it() {
+    let tmp = tmp_dir("a11-allow");
+    seed_tree(&tmp, &reader_src(true));
+    let (code, stdout) = run_audit(&tmp);
+    std::fs::remove_dir_all(&tmp).unwrap();
+    assert_eq!(code, 0, "a justified allow must clear A11; stdout: {stdout}");
+    assert!(stdout.contains("\"ok\":true"), "{stdout}");
+}
+
+#[test]
+fn explain_prints_rules_by_name_and_id() {
+    let by_name = Command::new(env!("CARGO_BIN_EXE_anc-audit"))
+        .args(["--explain", "lock-order"])
+        .output()
+        .expect("run anc-audit");
+    assert!(by_name.status.success());
+    let text = String::from_utf8(by_name.stdout).unwrap();
+    assert!(text.contains("A9") && text.contains("deadlock"), "{text}");
+    assert!(text.contains("suppression"), "{text}");
+
+    let by_id = Command::new(env!("CARGO_BIN_EXE_anc-audit"))
+        .args(["--explain", "a10"])
+        .output()
+        .expect("run anc-audit");
+    assert!(by_id.status.success());
+    let text = String::from_utf8(by_id.stdout).unwrap();
+    assert!(text.contains("atomic-ordering"), "{text}");
+
+    let all = Command::new(env!("CARGO_BIN_EXE_anc-audit"))
+        .args(["--explain", "all"])
+        .output()
+        .expect("run anc-audit");
+    assert!(all.status.success());
+    let text = String::from_utf8(all.stdout).unwrap();
+    for id in ["A1", "A5", "A9", "A10", "A11"] {
+        assert!(text.contains(&format!("{id} `")), "missing {id}: {text}");
+    }
+
+    let unknown = Command::new(env!("CARGO_BIN_EXE_anc-audit"))
+        .args(["--explain", "no-such-rule"])
+        .output()
+        .expect("run anc-audit");
+    assert_eq!(unknown.status.code(), Some(2), "unknown rule is a usage error");
+}

@@ -720,6 +720,12 @@ impl AncEngine {
     /// return the same allocation), and the [`QueryStats`] report the
     /// cache generation, pending dirty edges, and the repair-vs-rebuild
     /// decision this query took.
+    ///
+    /// A wait-free query root (audit rule A11, `blocking-in-reader`): on
+    /// the warm path this hands out the cached `Arc` snapshot without
+    /// locking or pool dispatch. The one audited exception is the
+    /// first-touch cold fill, which runs inline on the querying thread
+    /// (the writer path) before the snapshot is published.
     pub fn cluster_all_cached(
         &self,
         level: usize,
@@ -754,6 +760,18 @@ impl AncEngine {
     /// The smallest cluster containing `v` (finest granularity).
     pub fn smallest_cluster(&self, v: NodeId) -> Vec<NodeId> {
         query::smallest_cluster(&self.g, &self.pyramids, v)
+    }
+
+    /// Whether `u` and `v` share a cluster at `level` (Problem 1(3)).
+    ///
+    /// A wait-free query root (audit rule A11, `blocking-in-reader`):
+    /// answered from the immutable pyramid partitions with no locking,
+    /// blocking, or pool dispatch, so concurrent readers never stall
+    /// behind a writer.
+    #[inline]
+    #[must_use = "pure query; the membership answer is the only effect"]
+    pub fn same_cluster(&self, u: NodeId, v: NodeId, level: usize) -> bool {
+        self.pyramids.same_cluster(u, v, level)
     }
 
     /// Approximate *true* (de-anchored) distance `M_t(u, v)` answered from

@@ -70,7 +70,7 @@ pub fn core_numbers(g: &Graph) -> Vec<u32> {
         return Vec::new();
     }
     let mut deg: Vec<usize> = (0..n).map(|v| g.degree(v as NodeId)).collect();
-    let max_deg = *deg.iter().max().unwrap();
+    let max_deg = deg.iter().max().copied().unwrap_or(0);
     // Bucket sort by degree.
     let mut bins = vec![0usize; max_deg + 2];
     for &d in &deg {

@@ -409,8 +409,11 @@ pub fn paper_figure2() -> (Graph, Vec<f64>) {
     let g = b.build();
     let mut w = vec![1.0; g.m()];
     for &(u, v, wt) in list {
-        let e = g.edge_id(u - 1, v - 1).expect("edge exists");
-        w[e as usize] = wt;
+        // Every pair was added to the builder above, so the id always
+        // resolves; the prefilled weight 1.0 stands in the impossible miss.
+        if let Some(e) = g.edge_id(u - 1, v - 1) {
+            w[e as usize] = wt;
+        }
     }
     (g, w)
 }

@@ -234,9 +234,11 @@ impl GraphBuilder {
             degrees[v as usize] += 1;
         }
         let mut offsets = Vec::with_capacity(n + 1);
+        let mut total = 0usize;
         offsets.push(0usize);
         for d in &degrees {
-            offsets.push(offsets.last().unwrap() + d);
+            total += d;
+            offsets.push(total);
         }
 
         let mut neighbors = vec![0 as NodeId; 2 * m];

@@ -24,6 +24,7 @@ use std::sync::Mutex;
 
 #[allow(unsafe_code)]
 mod pool;
+mod stress;
 
 /// The number of worker threads parallel calls will use (the thread
 /// target). This is the actual pool size: the pool lazily spawns workers

@@ -48,6 +48,35 @@
 //! Thread-safety of the *data* is still compiler-checked: the closure must
 //! be `Sync` (its captured borrows must be shareable) and chunk inputs and
 //! outputs cross threads behind `Send` bounds in the combinators.
+//!
+//! # Lock hierarchy and atomic discipline
+//!
+//! The pool's locks form a fixed acquisition order, machine-checked by
+//! `anc-audit` rule A9 (`lock-order`; the element deques are unified under
+//! the name `deque` via `audit:lock` annotations):
+//!
+//! ```text
+//! sleep > deques > deque        (latch.remaining / latch.panic are leaves:
+//!                                never held across another acquisition)
+//! ```
+//!
+//! A worker parks by taking `sleep`, then refreshing its snapshot of the
+//! deque list (`deques`), then probing the element `deque`s; submitters
+//! take `deques` → `deque` to enqueue, and bump the wake generation under
+//! `sleep` *without* holding either deque lock. Threads are spawned
+//! outside the `deques` lock — a freshly started worker immediately takes
+//! `sleep`, so spawning under `deques` would thread `deques → sleep`
+//! through the graph and close a cycle with the worker's `sleep → deques`.
+//! Condvar waits (`wake`, `done`) are only ever entered holding the
+//! condvar's own mutex, nothing else.
+//!
+//! Atomics (rule A10, `atomic-ordering`): `active` is SeqCst (it gates
+//! whether a worker may steal at all and is cheap at this frequency);
+//! `Latch::poisoned` is a Release-store / Acquire-load handshake — the
+//! store publishes the panic verdict before sibling tasks decide to skip,
+//! and the panic *payload* itself travels under the `panic` mutex. The
+//! perturbation counter in [`crate::stress`] is the one sanctioned
+//! all-Relaxed atomic: it feeds a yield decision and synchronizes nothing.
 
 use std::any::Any;
 use std::cell::Cell;
@@ -184,6 +213,7 @@ pub(crate) fn run_tasks<F: Fn(usize) + Sync>(threads: usize, tasks: usize, f: F)
         let deques = shared.deques.lock().expect("pool deque list poisoned");
         for index in 0..tasks {
             let task = Task { closure, call: call_chunk::<F>, index, latch: Arc::clone(&latch) };
+            // audit:lock(deque) -- element deque, one hierarchy level below the `deques` list lock
             deques[index % workers].lock().expect("pool deque poisoned").push_back(task);
         }
     }
@@ -192,6 +222,7 @@ pub(crate) fn run_tasks<F: Fn(usize) + Sync>(threads: usize, tasks: usize, f: F)
         *generation = generation.wrapping_add(1);
     }
     shared.wake.notify_all();
+    crate::stress::perturb(1); // submitter vs. freshly woken workers
 
     // Participate: run queued chunks (ours, in the common case) until the
     // deques are drained, then wait for in-flight chunks on the latch.
@@ -240,6 +271,7 @@ fn run_task(task: Task) {
             }
         }
     }
+    crate::stress::perturb(2); // completion vs. the submitter's latch wait
     let mut remaining = task.latch.remaining.lock().expect("pool latch poisoned");
     *remaining -= 1;
     if *remaining == 0 {
@@ -248,11 +280,24 @@ fn run_task(task: Task) {
 }
 
 /// Spawns workers (with their deques) until `want` exist.
+///
+/// The deques are created under the list lock, but the threads are spawned
+/// *outside* it: a freshly started worker immediately takes `sleep` (and
+/// then re-locks `deques` for its snapshot), so spawning while holding the
+/// list lock threads `deques → sleep` through the lock graph and closes a
+/// deadlock-shaped cycle with the workers' `sleep → deques` park path —
+/// exactly what audit rule A9 flags. Two concurrent growers cannot race on
+/// ids: each spawns exactly the range of deques it appended under the lock.
 fn ensure_workers(shared: &'static Arc<Shared>, want: usize) {
-    let mut deques = shared.deques.lock().expect("pool deque list poisoned");
-    while deques.len() < want {
-        let id = deques.len();
-        deques.push(Arc::new(Mutex::new(VecDeque::new())));
+    let first_new;
+    {
+        let mut deques = shared.deques.lock().expect("pool deque list poisoned");
+        first_new = deques.len();
+        while deques.len() < want {
+            deques.push(Arc::new(Mutex::new(VecDeque::new())));
+        }
+    }
+    for id in first_new..want {
         let shared = Arc::clone(shared);
         std::thread::Builder::new()
             .name(format!("anc-rayon-{id}"))
@@ -270,6 +315,7 @@ fn worker_loop(shared: &Shared, id: usize) {
             None
         };
         if let Some(task) = task {
+            crate::stress::perturb(3); // claimed-task run vs. sibling steals
             run_task(task);
             continue;
         }
@@ -296,13 +342,16 @@ fn worker_loop(shared: &Shared, id: usize) {
 /// the backs of the other deques, scanning from the next id around.
 fn pop_or_steal(deques: &[TaskDeque], id: usize) -> Option<Task> {
     if let Some(own) = deques.get(id) {
+        // audit:lock(deque) -- element deque (worker's own)
         if let Some(task) = own.lock().expect("pool deque poisoned").pop_front() {
             return Some(task);
         }
     }
+    crate::stress::perturb(4); // own-deque miss vs. victim selection
     let len = deques.len();
     for offset in 1..len.max(1) {
         let victim = &deques[(id + offset) % len];
+        // audit:lock(deque) -- element deque (steal victim)
         if let Some(task) = victim.lock().expect("pool deque poisoned").pop_back() {
             return Some(task);
         }
@@ -313,7 +362,9 @@ fn pop_or_steal(deques: &[TaskDeque], id: usize) -> Option<Task> {
 /// The submitting thread's policy: drain deques front-first in index order
 /// (its own call's chunks land round-robin starting at deque 0).
 fn steal_any(deques: &[TaskDeque]) -> Option<Task> {
+    crate::stress::perturb(5); // submitter drain cadence vs. worker pops
     for deque in deques {
+        // audit:lock(deque) -- element deque (submitter drain)
         if let Some(task) = deque.lock().expect("pool deque poisoned").pop_front() {
             return Some(task);
         }

@@ -1,0 +1,62 @@
+//! Deterministic schedule perturbation for the pool (`stress-schedules`).
+//!
+//! With the `stress-schedules` cargo feature compiled in AND
+//! `ANC_STRESS_SEED` set to an integer, [`perturb`] injects seeded
+//! `yield_now` calls at the pool's steal/latch decision points (tagged call
+//! sites in `pool.rs`), forcing interleavings an unloaded scheduler would
+//! rarely produce: workers winning races against the submitter, steals
+//! interleaving with owner pops, completions racing the latch wait. The
+//! yield decision is a pure function of (seed, global site counter, site
+//! tag), so a given seed stresses the same decision points run to run —
+//! the OS remains free to schedule around each yield, which is the point:
+//! the engine's snapshots and extractions must be byte-identical under
+//! *any* interleaving, and the determinism suite asserts exactly that at
+//! 2/4/8 threads across several seeds.
+//!
+//! Without the feature (every default build, including production) the
+//! no-op twin below compiles to nothing.
+
+#[cfg(feature = "stress-schedules")]
+mod imp {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Parsed `ANC_STRESS_SEED`; `None` (unset/unparsable) disables
+    /// perturbation even with the feature compiled in, so test profiles can
+    /// keep the feature on and opt in per run. Deliberately re-read on
+    /// every decision point (not cached): the determinism suite sweeps
+    /// seeds within one process, and a stress harness can afford the
+    /// getenv.
+    fn seed() -> Option<u64> {
+        std::env::var("ANC_STRESS_SEED").ok().and_then(|raw| raw.trim().parse().ok())
+    }
+
+    /// Global decision-point counter. Relaxed is sanctioned here (A10): the
+    /// counter only decorrelates yield decisions; it synchronizes nothing
+    /// and no data is published through it.
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    /// splitmix64 finalizer — mixes (seed, counter, tag) into a uniform word.
+    fn mix(mut x: u64) -> u64 {
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    /// Maybe-yield at decision point `tag` (~1 in 3 sites yield).
+    pub fn perturb(tag: u64) {
+        let Some(seed) = seed() else { return };
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        if mix(seed ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (tag << 56)) % 3 == 0 {
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(not(feature = "stress-schedules"))]
+mod imp {
+    /// No-op twin: the default build compiles perturbation out entirely.
+    #[inline(always)]
+    pub fn perturb(_tag: u64) {}
+}
+
+pub(crate) use imp::perturb;

@@ -1,0 +1,133 @@
+//! Schedule-perturbation determinism suite (`--features stress-schedules`).
+//!
+//! With the feature compiled in and `ANC_STRESS_SEED` set, the pool injects
+//! seeded `yield_now` calls at its steal/latch decision points (see
+//! `src/stress.rs`), forcing interleavings an unloaded scheduler would
+//! rarely produce. The invariant under test: every combinator's result is a
+//! pure function of its input — the schedule is **not** an input — so a
+//! perturbed run at any thread count must reproduce the unperturbed
+//! single-thread reference byte for byte. Panic propagation must also
+//! survive perturbation, and the pool must keep working afterward.
+//!
+//! Without the feature the perturbation hooks compile to no-ops and this
+//! suite degrades to a plain determinism sweep (still valid, just not
+//! adversarial). CI runs it with the feature enabled.
+//!
+//! This file holds a single `#[test]` on purpose: it mutates the global
+//! `RAYON_NUM_THREADS` and `ANC_STRESS_SEED` variables, which would race
+//! with sibling tests in the same binary.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rayon::prelude::*;
+
+/// A fingerprint over every public combinator, shaped to keep the pool's
+/// decision points busy: uneven per-item work (so steals actually happen),
+/// nested `join` from inside pool tasks, chunked slices, in-place mutation,
+/// and an order-sensitive fold that would expose any reordering.
+fn fingerprint() -> (Vec<u64>, u64, Vec<u64>, Vec<u64>, u64) {
+    let base: Vec<u64> = (0..4093).collect();
+
+    // map/collect with work skew: item cost varies 1..64 iterations.
+    let mapped: Vec<u64> = base
+        .par_iter()
+        .map(|&x| {
+            let mut h = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            for _ in 0..(x % 64) {
+                h = h.rotate_left(13) ^ 0x2545_f491_4f6c_dd1d;
+            }
+            h
+        })
+        .collect();
+
+    // reduce over the mapped stream (associative + commutative op, but the
+    // shim documents a fixed chunk-combine order; wrapping_add is safe
+    // either way).
+    let sum = mapped.clone().into_par_iter().map(|x| x).reduce(|| 0u64, |a, b| a.wrapping_add(b));
+
+    // Nested join inside pool tasks, one arm parallel, one sequential and
+    // order-sensitive (rotate-xor fold detects any element reordering).
+    let (nested, folded) = rayon::join(
+        || -> Vec<u64> {
+            mapped
+                .par_iter()
+                .map(|&x| {
+                    let (a, b) = rayon::join(|| x ^ 0xabcd, || x.rotate_right(7));
+                    a.wrapping_add(b)
+                })
+                .collect()
+        },
+        || mapped.iter().fold(0u64, |acc, &b| acc.rotate_left(1) ^ b),
+    );
+
+    // zip + collect_into_vec (the preallocated-output path).
+    let mut zipped = Vec::new();
+    base.clone()
+        .into_par_iter()
+        .zip(mapped.clone().into_par_iter())
+        .map(|(a, b)| a.wrapping_mul(3).wrapping_add(b))
+        .collect_into_vec(&mut zipped);
+
+    // par_chunks: per-chunk order-sensitive fold, then in-place mutation
+    // via par_iter_mut.
+    let chunked: Vec<u64> = mapped
+        .par_chunks(97)
+        .map(|c| c.iter().fold(0u64, |acc, &b| acc.rotate_left(3) ^ b))
+        .collect();
+    let mut inplace = base;
+    inplace.par_iter_mut().for_each(|x| *x = x.wrapping_mul(31).wrapping_add(7));
+    let inplace_sum = inplace.iter().fold(0u64, |acc, &b| acc.rotate_left(1) ^ b);
+
+    let zipped_sum = zipped.iter().fold(0u64, |acc, &b| acc.wrapping_add(b));
+    (mapped, sum, nested, chunked, folded ^ inplace_sum ^ zipped_sum)
+}
+
+/// The panic payload from `f` as a string, asserting `f` does panic.
+fn panic_message<F: FnOnce() + Send>(f: F) -> String {
+    let payload = catch_unwind(AssertUnwindSafe(f)).expect_err("closure should panic");
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        panic!("panic payload is not a string");
+    }
+}
+
+#[test]
+fn perturbed_schedules_never_change_results() {
+    // Reference: single thread, no perturbation.
+    std::env::remove_var("ANC_STRESS_SEED");
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let reference = fingerprint();
+
+    for threads in ["2", "4", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        for seed in ["0", "42", "3405691582", "9223372036854775807"] {
+            std::env::set_var("ANC_STRESS_SEED", seed);
+            let run = fingerprint();
+            assert_eq!(
+                reference, run,
+                "results diverged from the 1-thread reference at \
+                 {threads} threads, stress seed {seed}"
+            );
+
+            // Panic propagation survives perturbation, and the pool keeps
+            // servicing calls afterward.
+            let msg = panic_message(|| {
+                let v: Vec<u32> = (0..500).collect();
+                v.into_par_iter().for_each(|x| {
+                    if x == 250 {
+                        panic!("stress boom");
+                    }
+                });
+            });
+            assert!(msg.contains("stress boom"), "unexpected payload: {msg}");
+            let doubled: Vec<u64> =
+                (0..512u64).collect::<Vec<_>>().into_par_iter().map(|x| x * 2).collect();
+            assert_eq!(doubled, (0..512).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+    std::env::remove_var("ANC_STRESS_SEED");
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
