@@ -13,10 +13,19 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo run -p anc-audit --release (determinism + concurrency + hot-path lint pass)"
-# JSON report lands in results/audit.json — including the A9 lock-acquisition
-# edges and every A9/A10/A11 concurrency finding; a nonzero exit (deny-tier
-# finding or an A5/A7 ratchet regression) fails CI, echoing the report first.
+echo "==> anc-audit --diff HEAD (fast differential pre-gate)"
+# Differential mode first: on an unchanged tree this must report nothing
+# beyond the committed baseline, so a broken checkout (or a finding-key
+# regression in the differ itself) fails fast before the full deny pass.
+if git rev-parse --verify -q HEAD > /dev/null; then
+    cargo run -p anc-audit --release -- --diff HEAD
+fi
+
+echo "==> cargo run -p anc-audit --release (determinism + concurrency + dataflow lint pass)"
+# JSON report lands in results/audit.json — including the audit's own
+# wall time (elapsed_seconds), the A9 lock-acquisition edges and every
+# A9–A14 concurrency/dataflow finding; a nonzero exit (deny-tier finding
+# or an A5/A7 ratchet regression) fails CI, echoing the report first.
 mkdir -p results
 cargo run -p anc-audit --release -- --format json > results/audit.json || {
     echo "audit failed; report follows:"
@@ -67,9 +76,11 @@ echo "==> seeded audit-violation suites (reachability + concurrency fixtures)"
 # a silently-pass regression in the analyses themselves fails CI: each rule
 # must fire with the right attribution, and each justified allow must clear
 # it (A1–A8 in seeded_violation/seeded_reachability, A9–A11 in
-# seeded_concurrency, plus the --explain surface).
+# seeded_concurrency, A12–A14 in seeded_dataflow, plus the --explain
+# surface and the JSON/SARIF format contracts).
 cargo test -p anc-audit --test seeded_violation --test seeded_reachability \
-    --test seeded_concurrency --test prop_lexer -q
+    --test seeded_concurrency --test seeded_dataflow --test format \
+    --test prop_lexer -q
 
 echo "==> stress-schedules: perturbed-schedule determinism at fixed seeds"
 # The pool's seeded yield-injection hooks (vendor/rayon/src/stress.rs) force

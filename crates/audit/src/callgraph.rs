@@ -51,8 +51,9 @@
 //! approximated as statement temporaries (the workspace does not bind lock
 //! guards that way).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
+use crate::dataflow::{scan_flow, FnFlow};
 use crate::lexer::{lock_name_override, matching, suppressed_rules, LexedFile, Token, TokenKind};
 
 /// Crates included in the call graph (the per-activation hot path lives
@@ -228,9 +229,11 @@ pub struct FnItem {
     pub atomics: Vec<AtomicSite>,
     /// Unsuppressed blocking sites (A11).
     pub blocking: Vec<BlockingSite>,
+    /// Dataflow facts for A12–A14 (see [`crate::dataflow`]).
+    pub flow: FnFlow,
 }
 
-const KEYWORDS: &[&str] = &[
+pub(crate) const KEYWORDS: &[&str] = &[
     "if", "else", "while", "match", "for", "in", "loop", "return", "break", "continue", "let",
     "move", "as", "ref", "box", "dyn", "where", "use", "pub", "mod", "struct", "enum", "trait",
     "type", "const", "static", "fn", "impl", "unsafe", "extern", "crate", "super", "self", "Self",
@@ -266,9 +269,10 @@ pub fn extract_fns(
     // fn items: header parse, body range, impl-type qualification.
     let mut items: Vec<FnItem> = Vec::new();
     let mut ranges: Vec<(usize, usize)> = Vec::new(); // body (open, close)
-                                                      // Test fns never run in production; feature-gated fns (and gated call
-                                                      // statements) are compiled out of the default-feature build the audit
-                                                      // targets.
+    let mut starts: Vec<usize> = Vec::new(); // `fn` keyword token index
+                                             // Test fns never run in production; feature-gated fns (and gated call
+                                             // statements) are compiled out of the default-feature build the audit
+                                             // targets.
     let excluded = |line: usize| {
         lexed.is_test_line(line.saturating_sub(1)) || lexed.is_gated_line(line.saturating_sub(1))
     };
@@ -309,8 +313,10 @@ pub fn extract_fns(
             wait_violations: Vec::new(),
             atomics: Vec::new(),
             blocking: Vec::new(),
+            flow: FnFlow::default(),
         });
         ranges.push((open, close));
+        starts.push(i);
     }
 
     // Innermost-fn ownership per token: outer ranges first, inner overwrite.
@@ -426,6 +432,29 @@ pub fn extract_fns(
         let self_ty = item.qual.rsplit_once("::").map(|(ty, _)| ty.to_string());
         scan_concurrency(toks, open, close, k, &owner, &close_of, lexed, raw_lines, self_ty, item);
     }
+
+    // Dataflow raw material (A12–A14): a third per-fn walk over statements
+    // (see `dataflow::scan_flow`). File-level hash-collection bindings feed
+    // the hash-order-iteration source check.
+    let hash_idents: BTreeSet<String> =
+        lexed.code_lines.iter().flat_map(|line| crate::hash_bindings(line)).collect();
+    for (k, item) in items.iter_mut().enumerate() {
+        let (open, close) = ranges[k];
+        let self_ty = item.qual.rsplit_once("::").map(|(ty, _)| ty.to_string());
+        scan_flow(
+            toks,
+            starts[k],
+            open,
+            close,
+            k,
+            &owner,
+            lexed,
+            raw_lines,
+            self_ty.as_deref(),
+            &hash_idents,
+            item,
+        );
+    }
     items
 }
 
@@ -486,7 +515,7 @@ fn path_qualifier(toks: &[Token], i: usize, self_ty: Option<&str>) -> String {
 /// Classifies the call site whose name ident is at `i` the same way the
 /// main extraction loop does (the concurrency walk needs callees for
 /// held-span calls). The caller has verified an argument list follows.
-fn callee_at(toks: &[Token], i: usize, self_ty: Option<&str>) -> Option<Callee> {
+pub(crate) fn callee_at(toks: &[Token], i: usize, self_ty: Option<&str>) -> Option<Callee> {
     let t = &toks[i];
     let prev = if i > 0 { Some(&toks[i - 1]) } else { None };
     if prev.is_some_and(|p| p.is_ident("fn")) {
@@ -969,7 +998,7 @@ fn fn_body_open(toks: &[Token], from: usize) -> Option<usize> {
 
 /// Whether the token at `i` begins an argument list: `(` directly, or a
 /// turbofish `::<…>(`.
-fn call_follows(toks: &[Token], i: usize) -> bool {
+pub(crate) fn call_follows(toks: &[Token], i: usize) -> bool {
     match toks.get(i) {
         Some(t) if t.is_punct("(") => true,
         Some(t) if t.is_punct("::") && toks.get(i + 1).is_some_and(|n| n.is_punct("<")) => {

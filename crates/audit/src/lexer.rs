@@ -182,12 +182,12 @@ impl<'a> Lexer<'a> {
                 '/' if self.peek(1) == Some('/') => self.line_comment(),
                 '/' if self.peek(1) == Some('*') => self.block_comment(),
                 '"' => self.string_literal(),
-                'r' | 'b' if self.raw_string_hashes().is_some() => {
+                'r' | 'b' | 'c' if self.raw_string_hashes().is_some() => {
                     let hashes = self.raw_string_hashes().expect("checked");
                     self.raw_string_literal(hashes);
                 }
-                'b' if self.peek(1) == Some('"') && !self.prev_is_word() => {
-                    self.bump_code(); // the b prefix
+                'b' | 'c' if self.peek(1) == Some('"') && !self.prev_is_word() => {
+                    self.bump_code(); // the b/c prefix
                     self.string_literal();
                 }
                 'b' if self.peek(1) == Some('\'') && !self.prev_is_word() => {
@@ -302,14 +302,14 @@ impl<'a> Lexer<'a> {
         self.push(TokenKind::Literal, String::new(), line);
     }
 
-    /// If position `i` starts a raw (byte) string — `r"`, `r#"`, `br##"` … —
-    /// returns the number of `#`s.
+    /// If position `i` starts a raw (byte/C) string — `r"`, `r#"`, `br##"`,
+    /// `cr"` … — returns the number of `#`s.
     fn raw_string_hashes(&self) -> Option<u32> {
         if self.prev_is_word() {
             return None;
         }
         let mut j = 0;
-        if self.peek(0) == Some('b') {
+        if matches!(self.peek(0), Some('b') | Some('c')) {
             j += 1;
         }
         if self.peek(j) != Some('r') {
@@ -601,6 +601,40 @@ mod tests {
         let out = code("let b = b\"thread_rng\"; let rb = br##\"x \"# thread_rng\"##; i();\n");
         assert!(!out[0].contains("thread_rng"), "{:?}", out[0]);
         assert!(out[0].contains("i();"));
+    }
+
+    #[test]
+    fn c_strings_are_blanked_not_leaked() {
+        // Plain c-string: content blanked, no spurious `c` ident.
+        let f = lex("let cs = c\"lit thread_rng\"; m();\n");
+        assert!(!f.code_lines[0].contains("thread_rng"), "{:?}", f.code_lines[0]);
+        assert!(f.code_lines[0].contains("m();"));
+        assert!(!f.tokens.iter().any(|t| t.is_ident("c")), "no phantom `c` ident");
+        // Raw c-string: the inner quote must not end the literal early
+        // (before the fix, `thread_rng` leaked out as a live ident — a
+        // false nondet-taint source).
+        let f = lex("let cr = cr#\"raw \" thread_rng\"#; n();\n");
+        assert!(!f.code_lines[0].contains("thread_rng"), "{:?}", f.code_lines[0]);
+        assert!(f.code_lines[0].contains("n();"));
+        assert!(!f.tokens.iter().any(|t| t.is_ident("thread_rng")));
+    }
+
+    #[test]
+    fn amp_lifetime_vs_char_disambiguation() {
+        // `&'static` and `&'_` are lifetimes; `&'a'` and `x & 'y'` are
+        // references to / conjunctions with char literals.
+        let f = lex("fn f(x: &'static str, y: &'_ u8) { g(x, y); }\n");
+        let lifetimes: Vec<&str> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["static", "_"]);
+        let f = lex("let c = &'a'; let p = x & 'y'; h();\n");
+        assert!(f.tokens.iter().all(|t| t.kind != TokenKind::Lifetime));
+        assert_eq!(f.tokens.iter().filter(|t| t.kind == TokenKind::Literal).count(), 2);
+        assert!(f.code_lines[0].contains("h();"));
     }
 
     #[test]

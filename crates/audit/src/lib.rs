@@ -59,6 +59,21 @@
 //!   Condvar wait, channel recv, `park`, pool dispatch) reachable from a
 //!   wait-free query root ([`callgraph::QUERY_ROOTS`]) are deny-tier.
 //!
+//! Dataflow rules (stage 4, [`dataflow`]; DESIGN.md §13):
+//!
+//! * `nondet-taint` (A12) — a nondeterminism source (hash iteration order,
+//!   `RandomState`, thread ids/counts, wall clocks, unseeded RNG
+//!   constructors) flowing — through let-bindings, assignments, call
+//!   arguments and return values, interprocedurally to a fixpoint — into a
+//!   snapshot/WAL writer, a codec/CRC primitive, or a cluster query's
+//!   return value is deny-tier; findings carry the source→…→sink chain.
+//! * `lossy-persist` (A13) — potentially-narrowing numeric `as`-casts in
+//!   functions reachable from the serialization roots are deny-tier
+//!   (checked conversions or a width-justifying allow instead).
+//! * `swallowed-error` (A14) — `let _ = …` / statement-terminal `.ok()`
+//!   discarding fallible results in functions reachable from the
+//!   WAL/DurableEngine IO and recovery surface are deny-tier.
+//!
 //! A finding on a line is suppressed by `// audit:allow(<rule>) -- <reason>`
 //! on the same line or the line directly above. The lexer blanks string
 //! literals and strips comments, so rule-pattern strings (in this crate,
@@ -75,6 +90,7 @@ use std::path::{Path, PathBuf};
 
 pub mod callgraph;
 pub mod concurrency;
+pub mod dataflow;
 pub mod lexer;
 
 use callgraph::{extract_fns, CallGraph, FnItem, ALLOC_ROOTS, CALL_GRAPH_CRATES, PANIC_ROOTS};
@@ -101,7 +117,8 @@ pub const BASELINE_A7_PATH: &str = "crates/audit/baseline_a7.txt";
 pub struct Finding {
     /// Rule id (`hash-iter`, `float-cmp`, `wall-clock`, `forbid-unsafe`,
     /// `unwrap-budget`, `panic-path`, `hot-alloc`, `unsafe-block`,
-    /// `lock-order`, `atomic-ordering`, `blocking-in-reader`).
+    /// `lock-order`, `atomic-ordering`, `blocking-in-reader`,
+    /// `nondet-taint`, `lossy-persist`, `swallowed-error`).
     pub rule: &'static str,
     /// Repo-relative file path.
     pub file: String,
@@ -259,6 +276,52 @@ pub const RULES: &[RuleDoc] = &[
         example: "crates/core/src/cache.rs:103: [blocking-in-reader] pool dispatch `par_iter` \
                   in `ClusterCache::fill_level` is reachable from a wait-free query root \
                   (AncEngine::cluster_all_cached → …)",
+        suppression: ALLOW_LINE,
+    },
+    RuleDoc {
+        id: "A12",
+        rule: "nondet-taint",
+        rationale: "Byte-identical snapshots and thread-count-invariant queries only hold if no \
+                    nondeterminism source ever *flows* into persisted state or query results — \
+                    a property token rules (A1, A3) cannot see across assignments and calls. \
+                    The dataflow engine tracks def-use chains per function and propagates taint \
+                    from sources (hash iteration order, RandomState, thread ids/counts, wall \
+                    clocks, unseeded RNG constructors) across the call graph to a fixpoint, \
+                    denying any flow into a snapshot/WAL writer, a codec/CRC primitive, or a \
+                    cluster query's return value. Findings carry the source→…→sink chain.",
+        example: "crates/core/src/engine.rs:401: [nondet-taint] nondeterministic value — \
+                  env-dependent thread count `available_parallelism()` \
+                  (crates/core/src/engine.rs:388) — reaches persistence sink `append_payload` \
+                  via AncEngine::probe → AncEngine::ingest",
+        suppression: ALLOW_LINE,
+    },
+    RuleDoc {
+        id: "A13",
+        rule: "lossy-persist",
+        rationale: "A numeric `as`-cast silently truncates or rounds; on a serialization path \
+                    that turns a live value into a wrong-but-CRC-valid byte stream that replay \
+                    then trusts. Casts to sub-64-bit numeric targets (u8/u16/u32/i8/i16/i32/f32) \
+                    in any function reachable from a snapshot/WAL encode root are denied — the \
+                    lexer cannot see source types, so provably-widening or masked casts carry an \
+                    allow naming the width argument; real narrowing uses try_from/u8::from or \
+                    the tagged `Compact` profile's escape-hatch machinery.",
+        example: "crates/core/src/persist/wal.rs:252: [lossy-persist] `as u32` cast in \
+                  `frame_payload` can silently narrow a value on the serialization path \
+                  (DurableEngine::append_payload → frame_payload)",
+        suppression: ALLOW_LINE,
+    },
+    RuleDoc {
+        id: "A14",
+        rule: "swallowed-error",
+        rationale: "`let _ = fallible()` and statement-terminal `.ok()` silently discard IO \
+                    errors; on the WAL append/recovery paths that converts a detectable \
+                    torn-write or permission failure into silent data loss. Both forms are \
+                    denied in any function reachable from the DurableEngine write/recovery \
+                    surface or the WAL reader (`#[must_use]` discards are covered by \
+                    `clippy -D warnings` in CI).",
+        example: "crates/core/src/persist/wal.rs:443: [swallowed-error] `let _ = …` discards a \
+                  fallible result in `DurableEngine::open` on a fallible IO/recovery path \
+                  (DurableEngine::open)",
         suppression: ALLOW_LINE,
     },
 ];
@@ -422,7 +485,7 @@ fn scan_lexed(
 /// Idents newly bound to a `HashMap`/`HashSet` on this (lexed) line:
 /// `let [mut] NAME = ...Hash{Map,Set}...` bindings plus `NAME: ...Hash…`
 /// typed declarations (struct fields, fn params, typed lets).
-fn hash_bindings(code: &str) -> Vec<String> {
+pub(crate) fn hash_bindings(code: &str) -> Vec<String> {
     let mut out = Vec::new();
     if !code.contains("HashMap") && !code.contains("HashSet") {
         return out;
@@ -722,6 +785,10 @@ pub fn scan_tree(root: &Path) -> std::io::Result<AuditReport> {
     report.findings.extend(crep.findings);
     report.lock_edges = crep.lock_edges;
 
+    // Stage 4: interprocedural dataflow rules (A12–A14) on the hot-path
+    // graph (the pool has no persistence sinks and its own A8/A9 coverage).
+    report.findings.extend(dataflow::analyze(&graph));
+
     report.findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     report.alloc_sites.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(report)
@@ -1007,7 +1074,7 @@ mod tests {
         assert_eq!(explain("a10").map(|r| r.rule), Some("atomic-ordering"));
         assert_eq!(explain("A11").map(|r| r.rule), Some("blocking-in-reader"));
         assert!(explain("no-such-rule").is_none());
-        assert_eq!(RULES.len(), 11, "one doc per rule A1–A11");
+        assert_eq!(RULES.len(), 14, "one doc per rule A1–A14");
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Machine-format contract tests for the audit binary: the JSON report's
+//! schema (golden key set — CI dashboards key on these) and SARIF 2.1.0
+//! well-formedness, both parsed back with the vendored `serde_json`.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use serde_json::Value;
+
+/// Lays down a minimal clean workspace (no findings) at `tmp`.
+fn seed_clean_tree(tmp: &Path) {
+    let core_src = tmp.join("crates/core/src");
+    std::fs::create_dir_all(&core_src).unwrap();
+    std::fs::write(core_src.join("lib.rs"), "#![forbid(unsafe_code)]\npub mod engine;\n").unwrap();
+    std::fs::write(
+        core_src.join("engine.rs"),
+        "pub struct AncEngine {\n\
+         \x20   n: usize,\n\
+         }\n\
+         impl AncEngine {\n\
+         \x20   pub fn activate(&mut self, e: u32) {\n\
+         \x20       self.n = e as usize;\n\
+         \x20   }\n\
+         }\n",
+    )
+    .unwrap();
+    let audit_dir = tmp.join("crates/audit");
+    std::fs::create_dir_all(&audit_dir).unwrap();
+    std::fs::write(audit_dir.join("baseline_a5.txt"), "# empty A5 baseline\n").unwrap();
+    std::fs::write(audit_dir.join("baseline_a7.txt"), "# empty A7 baseline\n").unwrap();
+}
+
+/// Adds one A13 violation (narrowing cast under `save_binary`) to the tree.
+fn seed_violating_tree(tmp: &Path) {
+    seed_clean_tree(tmp);
+    std::fs::write(
+        tmp.join("crates/core/src/engine.rs"),
+        "pub struct AncEngine {\n\
+         \x20   n: usize,\n\
+         }\n\
+         impl AncEngine {\n\
+         \x20   pub fn save_binary(&self, out: &mut Vec<u8>) {\n\
+         \x20       out.push(self.n as u8);\n\
+         \x20   }\n\
+         }\n",
+    )
+    .unwrap();
+}
+
+fn run_audit(root: &Path, format: &str) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_anc-audit"))
+        .args(["--root", root.to_str().unwrap(), "--format", format])
+        .output()
+        .expect("run anc-audit");
+    (out.status.code().expect("exit code"), String::from_utf8(out.stdout).expect("utf8 stdout"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("anc-audit-{tag}-{}", std::process::id()))
+}
+
+/// Golden JSON schema: the exact top-level key set, stable key types, and
+/// every rule id present in the `rules` table.
+#[test]
+fn json_report_matches_golden_schema() {
+    let tmp = tmp_dir("fmt-json");
+    seed_clean_tree(&tmp);
+    let (code, stdout) = run_audit(&tmp, "json");
+    std::fs::remove_dir_all(&tmp).unwrap();
+    assert_eq!(code, 0, "clean tree must pass: {stdout}");
+
+    let v: Value = serde_json::from_str(&stdout).expect("report must be valid JSON");
+    let obj = v.as_object().expect("top level is an object");
+    let keys: Vec<&str> = obj.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(
+        keys,
+        vec![
+            "ok",
+            "elapsed_seconds",
+            "rules",
+            "findings",
+            "unwrap_counts",
+            "alloc_counts",
+            "alloc_sites",
+            "lock_edges",
+            "notes"
+        ],
+        "top-level JSON schema changed — update the dashboards and this golden list together"
+    );
+    assert_eq!(v["ok"], Value::Bool(true));
+    assert!(v["elapsed_seconds"].as_f64().is_some_and(|s| s >= 0.0), "{stdout}");
+    assert!(v["findings"].as_array().is_some_and(|a| a.is_empty()), "{stdout}");
+
+    let rules = v["rules"].as_array().expect("rules is an array");
+    let ids: Vec<&str> = rules.iter().map(|r| r["id"].as_str().unwrap()).collect();
+    assert_eq!(ids.len(), 14, "A1–A14: {ids:?}");
+    for want in ["A1", "A12", "A13", "A14"] {
+        assert!(ids.contains(&want), "missing rule {want}: {ids:?}");
+    }
+    for r in rules {
+        assert!(r["rule"].as_str().is_some_and(|s| !s.is_empty()), "{r:?}");
+    }
+}
+
+/// SARIF output parses back as well-formed SARIF 2.1.0: schema/version,
+/// one run, the full rule table in the driver, and one `error`-level result
+/// per finding with a physical location.
+#[test]
+fn sarif_report_is_well_formed() {
+    let tmp = tmp_dir("fmt-sarif");
+    seed_violating_tree(&tmp);
+    let (code, stdout) = run_audit(&tmp, "sarif");
+    std::fs::remove_dir_all(&tmp).unwrap();
+    assert_eq!(code, 1, "the violating tree must fail: {stdout}");
+
+    let v: Value = serde_json::from_str(&stdout).expect("SARIF must be valid JSON");
+    assert_eq!(v["version"], Value::String("2.1.0".into()));
+    assert!(
+        v["$schema"].as_str().is_some_and(|s| s.contains("sarif")),
+        "$schema must point at SARIF: {stdout}"
+    );
+    let runs = v["runs"].as_array().expect("runs array");
+    assert_eq!(runs.len(), 1);
+    let run = &runs[0];
+
+    let driver = &run["tool"]["driver"];
+    assert_eq!(driver["name"], Value::String("anc-audit".into()));
+    let rules = driver["rules"].as_array().expect("driver.rules");
+    assert_eq!(rules.len(), 14, "A1–A14 in the SARIF rule table");
+    let rule_ids: Vec<&str> = rules.iter().map(|r| r["id"].as_str().unwrap()).collect();
+    assert!(rule_ids.contains(&"lossy-persist"), "{rule_ids:?}");
+
+    let results = run["results"].as_array().expect("results array");
+    assert!(!results.is_empty(), "the A13 violation must surface as a result");
+    for r in results {
+        assert_eq!(r["level"], Value::String("error".into()));
+        assert!(rule_ids.contains(&r["ruleId"].as_str().expect("ruleId")), "{r:?}");
+        assert!(r["message"]["text"].as_str().is_some_and(|s| !s.is_empty()));
+        let locs = r["locations"].as_array().expect("locations array");
+        let loc = &locs[0]["physicalLocation"];
+        assert!(loc["artifactLocation"]["uri"].as_str().is_some_and(|s| s.ends_with(".rs")));
+        assert!(loc["region"]["startLine"].as_i64().is_some_and(|l| l >= 1));
+    }
+}
+
+/// `--diff` against a ref with the same findings reports nothing new
+/// (exit 0) even though the tree is dirty in absolute terms — exercised
+/// here via the self-referential `--diff HEAD` contract on the real repo
+/// in ci.sh; the synthetic check is that an unknown ref fails cleanly.
+#[test]
+fn diff_mode_unknown_ref_is_a_tool_error() {
+    let tmp = tmp_dir("fmt-diff");
+    seed_clean_tree(&tmp);
+    let out = Command::new(env!("CARGO_BIN_EXE_anc-audit"))
+        .args(["--root", tmp.to_str().unwrap(), "--diff", "no-such-ref"])
+        .output()
+        .expect("run anc-audit");
+    std::fs::remove_dir_all(&tmp).unwrap();
+    assert_eq!(out.status.code(), Some(2), "tool error, not a finding failure");
+}

@@ -49,6 +49,16 @@ const FRAGMENTS: &[Fragment] = &[
     },
     Fragment { text: "let b = b\"unsafe bytes\";", unsafe_idents: 0, ordering_idents: 0 },
     Fragment {
+        text: "let c = c\"unsafe Ordering::Relaxed\";",
+        unsafe_idents: 0,
+        ordering_idents: 0,
+    },
+    Fragment {
+        text: "let cr = cr#\"unsafe \" Ordering::SeqCst\"#;",
+        unsafe_idents: 0,
+        ordering_idents: 0,
+    },
+    Fragment {
         text: "// audit:allow(unsafe-block) -- decoy with no code on the next line",
         unsafe_idents: 0,
         ordering_idents: 0,
@@ -61,6 +71,11 @@ const FRAGMENTS: &[Fragment] = &[
     },
     Fragment {
         text: "fn life<'a>(x: &'a u32) -> &'a u32 { x }",
+        unsafe_idents: 0,
+        ordering_idents: 0,
+    },
+    Fragment {
+        text: "let r: &'static str = \"unsafe\"; let ch = &'u'; let m = x & 'O';",
         unsafe_idents: 0,
         ordering_idents: 0,
     },
@@ -88,8 +103,10 @@ fn fragment() -> impl Strategy<Value = Fragment> {
 
 /// Delimiter-heavy alphabet for the never-panics smoke test: every byte
 /// that opens or closes a lexical mode, plus filler.
-const NOISE: &[char] =
-    &[' ', '\n', '\'', '"', '/', '*', '#', 'r', 'b', '\\', 'a', '_', '0', '{', '}', ':', '('];
+const NOISE: &[char] = &[
+    ' ', '\n', '\'', '"', '/', '*', '#', 'r', 'b', 'c', '\\', 'a', '_', '0', '{', '}', ':', '(',
+    '&',
+];
 
 fn count_idents(source: &str, name: &str) -> usize {
     lex(source).tokens.iter().filter(|t| t.kind == TokenKind::Ident && t.text == name).count()

@@ -1,0 +1,171 @@
+//! Seeded-violation tests for the stage-4 dataflow rules, driving the
+//! **binary** end to end (exit code + JSON report), mirroring
+//! `seeded_reachability.rs`:
+//!
+//! * **A12 nondet-taint**: an env-dependent thread count flowing through an
+//!   intermediate binding into a `save_binary` sink must fail the audit
+//!   with the source→…→sink chain in the message;
+//! * **A13 lossy-persist**: a narrowing `as u8` cast reachable from a
+//!   serialization root must fail attributed to `lossy-persist`;
+//! * **A14 swallowed-error**: a `let _ =` over a fallible call on a
+//!   `DurableEngine` recovery path must fail attributed to
+//!   `swallowed-error`.
+//!
+//! Each test lays down a synthetic workspace in a temp directory so the
+//! real sources are never touched.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Lays down a minimal workspace at `tmp` with empty A5/A7 baselines and
+/// the given `crates/core/src/engine.rs` body.
+fn seed_tree(tmp: &Path, engine_src: &str) {
+    let core_src = tmp.join("crates/core/src");
+    std::fs::create_dir_all(&core_src).unwrap();
+    std::fs::write(core_src.join("lib.rs"), "#![forbid(unsafe_code)]\npub mod engine;\n").unwrap();
+    std::fs::write(core_src.join("engine.rs"), engine_src).unwrap();
+    let audit_dir = tmp.join("crates/audit");
+    std::fs::create_dir_all(&audit_dir).unwrap();
+    std::fs::write(audit_dir.join("baseline_a5.txt"), "# empty A5 baseline\n").unwrap();
+    std::fs::write(audit_dir.join("baseline_a7.txt"), "# empty A7 baseline\n").unwrap();
+}
+
+/// Runs the audit binary on `root` with `--format json`, returning
+/// `(exit code, stdout)`.
+fn run_audit(root: &Path) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_anc-audit"))
+        .args(["--root", root.to_str().unwrap(), "--format", "json"])
+        .output()
+        .expect("run anc-audit");
+    (out.status.code().expect("exit code"), String::from_utf8(out.stdout).expect("utf8 stdout"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("anc-audit-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn seeded_nondet_source_reaching_sink_exits_nonzero_with_chain() {
+    let tmp = tmp_dir("a12");
+    seed_tree(
+        &tmp,
+        "pub struct AncEngine {\n\
+         \x20   data: Vec<u8>,\n\
+         }\n\
+         impl AncEngine {\n\
+         \x20   fn probe(&self) -> usize {\n\
+         \x20       let threads = match std::thread::available_parallelism() {\n\
+         \x20           Ok(n) => n.get(),\n\
+         \x20           Err(_) => 1,\n\
+         \x20       };\n\
+         \x20       threads\n\
+         \x20   }\n\
+         \x20   pub fn ingest(&mut self, out: &mut Vec<u8>) {\n\
+         \x20       let width = self.probe();\n\
+         \x20       self.save_binary(out, width);\n\
+         \x20   }\n\
+         \x20   fn save_binary(&self, out: &mut Vec<u8>, width: usize) {\n\
+         \x20       out.resize(width, 0);\n\
+         \x20   }\n\
+         }\n",
+    );
+    let (code, stdout) = run_audit(&tmp);
+    std::fs::remove_dir_all(&tmp).unwrap();
+
+    assert_eq!(code, 1, "a taint reaching a sink must fail the audit; stdout: {stdout}");
+    assert!(stdout.contains("\"ok\":false"), "{stdout}");
+    assert!(stdout.contains("\"rule\":\"nondet-taint\""), "must attribute to A12: {stdout}");
+    assert!(stdout.contains("available_parallelism"), "the finding must name the source: {stdout}");
+    assert!(
+        stdout.contains("save_binary") && stdout.contains("AncEngine::probe"),
+        "the finding must carry the source→…→sink chain: {stdout}"
+    );
+}
+
+#[test]
+fn seeded_narrowing_cast_on_persist_path_exits_nonzero() {
+    let tmp = tmp_dir("a13");
+    seed_tree(
+        &tmp,
+        "pub struct AncEngine {\n\
+         \x20   n: usize,\n\
+         }\n\
+         impl AncEngine {\n\
+         \x20   pub fn save_binary(&self, out: &mut Vec<u8>) {\n\
+         \x20       self.encode_header(out);\n\
+         \x20   }\n\
+         \x20   fn encode_header(&self, out: &mut Vec<u8>) {\n\
+         \x20       out.push(self.n as u8);\n\
+         \x20   }\n\
+         }\n",
+    );
+    let (code, stdout) = run_audit(&tmp);
+    std::fs::remove_dir_all(&tmp).unwrap();
+
+    assert_eq!(code, 1, "a narrowing cast on a persist path must fail; stdout: {stdout}");
+    assert!(stdout.contains("\"rule\":\"lossy-persist\""), "must attribute to A13: {stdout}");
+    assert!(
+        stdout.contains("as u8") && stdout.contains("encode_header"),
+        "the finding must name the cast and the fn: {stdout}"
+    );
+    assert!(
+        stdout.contains("AncEngine::save_binary"),
+        "the finding must carry the root chain: {stdout}"
+    );
+}
+
+#[test]
+fn seeded_swallowed_error_on_recovery_path_exits_nonzero() {
+    let tmp = tmp_dir("a14");
+    seed_tree(
+        &tmp,
+        "pub struct DurableEngine {\n\
+         \x20   n: usize,\n\
+         }\n\
+         impl DurableEngine {\n\
+         \x20   pub fn open(dir: &str) -> Self {\n\
+         \x20       let eng = Self { n: 0 };\n\
+         \x20       eng.replay(dir);\n\
+         \x20       eng\n\
+         \x20   }\n\
+         \x20   fn replay(&self, dir: &str) {\n\
+         \x20       let _ = self.step(dir);\n\
+         \x20   }\n\
+         \x20   fn step(&self, _dir: &str) -> Result<(), std::io::Error> {\n\
+         \x20       Ok(())\n\
+         \x20   }\n\
+         }\n",
+    );
+    let (code, stdout) = run_audit(&tmp);
+    std::fs::remove_dir_all(&tmp).unwrap();
+
+    assert_eq!(code, 1, "a dropped Result on a recovery path must fail; stdout: {stdout}");
+    assert!(stdout.contains("\"rule\":\"swallowed-error\""), "must attribute to A14: {stdout}");
+    assert!(
+        stdout.contains("DurableEngine::open") && stdout.contains("replay"),
+        "the finding must carry the recovery-root chain: {stdout}"
+    );
+}
+
+/// The same fixtures with an `audit:allow` suppression must pass: the
+/// suppression syntax is part of each rule's contract.
+#[test]
+fn seeded_violations_with_allow_comments_pass() {
+    let tmp = tmp_dir("a12-allow");
+    seed_tree(
+        &tmp,
+        "pub struct AncEngine {\n\
+         \x20   n: usize,\n\
+         }\n\
+         impl AncEngine {\n\
+         \x20   pub fn save_binary(&self, out: &mut Vec<u8>) {\n\
+         \x20       // audit:allow(lossy-persist) -- n is validated < 256 at ingest\n\
+         \x20       out.push(self.n as u8);\n\
+         \x20   }\n\
+         }\n",
+    );
+    let (code, stdout) = run_audit(&tmp);
+    std::fs::remove_dir_all(&tmp).unwrap();
+    assert_eq!(code, 0, "an allowed cast must pass; stdout: {stdout}");
+    assert!(stdout.contains("\"ok\":true"), "{stdout}");
+}

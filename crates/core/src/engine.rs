@@ -375,7 +375,7 @@ impl AncEngine {
     pub fn activate_batch(&mut self, edges: &[EdgeId], t: Time) -> BatchStats {
         // BatchStats.wall is observability-only; it never feeds the
         // algorithms and is not serialized into snapshots.
-        // audit:allow(wall-clock) -- wall time is reported, never consumed
+        // audit:allow(wall-clock, nondet-taint) -- wall time is reported, never consumed
         let start = Instant::now();
         let mut stats = BatchStats { edges_in: edges.len(), ..Default::default() };
         if !edges.is_empty() {
@@ -627,7 +627,7 @@ impl AncEngine {
         }
         // BatchStats.wall is observability-only; it never feeds the
         // algorithms and is not serialized into snapshots.
-        // audit:allow(wall-clock) -- wall time is reported, never consumed
+        // audit:allow(wall-clock, nondet-taint) -- wall time is reported, never consumed
         let start = Instant::now();
         let mut stats = BatchStats { edges_in: edges.len(), rebuilt: true, ..Default::default() };
         // State updates without per-activation index repair…
@@ -822,10 +822,10 @@ impl AncEngine {
     /// Rebuilds the engine's own index from its current weights — the
     /// RECONSTRUCT baseline of Figure 8. Fresh seed draws give per-edge
     /// dirty tracking no baseline to repair from, so the cluster cache is
-    /// invalidated wholesale and refills lazily.
+    /// invalidated wholesale and refills lazily. The rebuild reuses the
+    /// index's own buffers (bit-identical to a fresh build).
     pub fn reconstruct_index(&mut self) {
-        self.pyramids =
-            Pyramids::build(&self.g, &self.recip, self.cfg.k, self.cfg.theta, self.index_seed);
+        self.pyramids.rebuild(&self.g, &self.recip, self.index_seed);
         self.cache.get_mut().invalidate_all();
     }
 

@@ -118,6 +118,7 @@ fn f32_faithful(vals: &[f64]) -> bool {
         if x.is_infinite() {
             return true; // ±∞ narrows to ±∞
         }
+        // audit:allow(lossy-persist) -- the roundtrip probe deciding whether f32 is faithful
         let y = x as f32;
         x == 0.0 || (y.is_finite() && y.abs() >= f32::MIN_POSITIVE)
     })
@@ -128,6 +129,7 @@ fn put_float_array(out: &mut Vec<u8>, vals: &[f64], profile: SnapshotProfile) {
     if quantize {
         put_u8(out, TAG_F32);
         for &v in vals {
+            // audit:allow(lossy-persist) -- the tagged Compact escape hatch: f32_faithful gated
             put_f32(out, v as f32);
         }
     } else {
@@ -171,7 +173,7 @@ fn encode_config(out: &mut Vec<u8>, c: &AncConfig) {
     put_f64(out, c.floor_rel);
     put_uvarint(out, c.rescale.every_activations as u64);
     put_f64(out, c.rescale.exponent_guard);
-    put_u8(out, c.parallel_updates as u8);
+    put_u8(out, u8::from(c.parallel_updates));
     put_u8(
         out,
         match c.batch {
@@ -266,6 +268,7 @@ fn encode_pyramids(out: &mut Vec<u8>, pyr: &Pyramids, profile: SnapshotProfile) 
             prev = s as i64;
         }
         for (i, &s) in seeds.iter().enumerate() {
+            // audit:allow(lossy-persist) -- i < seeds.len() ≤ n, and node ids are u32 already
             seed_index[s as usize] = i as u32;
         }
         for &sv in seed_of {

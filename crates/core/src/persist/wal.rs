@@ -222,9 +222,11 @@ impl WalRecord {
         match self {
             WalRecord::Activate { e, t } => engine.activate(*e, *t),
             WalRecord::ActivateBatch { t, edges } => {
+                // audit:allow(swallowed-error) -- BatchStats is observability-only; replay is infallible
                 let _ = engine.activate_batch(edges, *t);
             }
             WalRecord::ActivateBatchAdaptive { t, rebuild_threshold, edges } => {
+                // audit:allow(swallowed-error) -- BatchStats is observability-only; replay is infallible
                 let _ = engine.activate_batch_adaptive(edges, *t, *rebuild_threshold);
             }
             WalRecord::ReinforceEdges { edges } => engine.reinforce_edges(edges),
@@ -247,11 +249,22 @@ fn encode_header(base_activations: u64) -> Vec<u8> {
     out
 }
 
-/// Appends one framed payload (`len ∥ crc ∥ payload`) to `out`.
-fn frame_payload(out: &mut Vec<u8>, payload: &[u8]) {
-    put_u32(out, payload.len() as u32);
+/// Appends one framed payload (`len ∥ crc ∥ payload`) to `out`. A payload
+/// over [`MAX_RECORD_LEN`] (or the u32 length field) is refused here on the
+/// write side — the old `len as u32` would have silently truncated the
+/// frame header and corrupted every record behind it.
+fn frame_payload(out: &mut Vec<u8>, payload: &[u8]) -> Result<(), RestoreError> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l as usize <= MAX_RECORD_LEN)
+        .ok_or_else(|| {
+            // audit:allow(hot-alloc) -- cold error path, reached only past the 1 GiB record cap
+            RestoreError::Codec(format!("record length {} exceeds cap", payload.len()))
+        })?;
+    put_u32(out, len);
     put_u32(out, crc32(payload));
     out.extend_from_slice(payload);
+    Ok(())
 }
 
 /// Appends one framed record to `out` (encode via `scratch`, then frame).
@@ -259,7 +272,7 @@ fn frame_payload(out: &mut Vec<u8>, payload: &[u8]) {
 fn frame_record(out: &mut Vec<u8>, record: &WalRecord, scratch: &mut Vec<u8>) {
     scratch.clear();
     record.encode(scratch);
-    frame_payload(out, scratch);
+    frame_payload(out, scratch).expect("test records are far below the length cap");
 }
 
 /// Streaming reader over the bytes of a write-ahead log.
@@ -439,8 +452,14 @@ impl DurableEngine {
     pub fn open(dir: impl AsRef<Path>, opts: DurabilityOptions) -> Result<Self, RestoreError> {
         let dir = dir.as_ref().to_path_buf();
         // A leftover tmp is an interrupted compaction that never renamed;
-        // the durable snapshot is still the old complete one.
-        let _ = std::fs::remove_file(dir.join(SNAPSHOT_TMP));
+        // the durable snapshot is still the old complete one. Only a
+        // missing tmp is ignorable — a permission or IO failure here would
+        // resurface as a corrupt rename target on the next compaction.
+        match std::fs::remove_file(dir.join(SNAPSHOT_TMP)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
         let snapshot_bytes = std::fs::read(dir.join(SNAPSHOT_FILE))?;
         let mut engine = AncEngine::load_binary(snapshot_bytes.as_slice())?;
 
@@ -567,7 +586,7 @@ impl DurableEngine {
     /// recovery instead of losing it.
     fn append_payload(&mut self) -> Result<(), RestoreError> {
         self.frame_buf.clear();
-        frame_payload(&mut self.frame_buf, &self.payload_buf);
+        frame_payload(&mut self.frame_buf, &self.payload_buf)?;
         self.wal.write_all(&self.frame_buf)?;
         self.wal_records += 1;
         Ok(())

@@ -74,6 +74,9 @@ pub struct Pyramids {
     /// Per-worker batch-repair buffers (transient; excluded from snapshots).
     #[serde(skip)]
     repair_scratch: Vec<RepairScratch>,
+    /// Pooled per-partition seed buffers for [`Self::rebuild`] (transient).
+    #[serde(skip)]
+    seed_scratch: Vec<Vec<NodeId>>,
 }
 
 impl Pyramids {
@@ -105,7 +108,43 @@ impl Pyramids {
             .map(|seeds| VoronoiPartition::build(g, weights, seeds))
             .collect();
         let needed_votes = ((theta * k as f64).ceil() as usize).clamp(1, k);
-        Self { partitions, k, levels, needed_votes, n, repair_scratch: Vec::with_capacity(0) }
+        Self {
+            partitions,
+            k,
+            levels,
+            needed_votes,
+            n,
+            repair_scratch: Vec::with_capacity(0),
+            seed_scratch: Vec::with_capacity(0),
+        }
+    }
+
+    /// Rebuilds every partition in place from a fresh seed sampling —
+    /// bit-identical to [`Self::build`] with the same `seed`, but reusing the
+    /// partitions' own distance/parent/children buffers and the pooled seed
+    /// scratch instead of allocating a new index. The engine's WAL-replay
+    /// index reconstruction runs through here so recovery stays off the
+    /// hot-path allocator.
+    pub fn rebuild(&mut self, g: &Graph, weights: &[f64], seed: u64) {
+        debug_assert_eq!(self.n, g.n(), "rebuild keeps the node count fixed");
+        let n = self.n;
+        let levels = self.levels;
+        if self.seed_scratch.len() < self.partitions.len() {
+            self.seed_scratch.resize_with(self.partitions.len(), Default::default);
+        }
+        for p in 0..self.k {
+            for l in 0..levels {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed ^ ((p as u64) << 32) ^ (l as u64));
+                let want = (1usize << l).min(n);
+                let chosen = &mut self.seed_scratch[p * levels + l];
+                chosen.clear();
+                chosen.extend(sample(&mut rng, n, want).into_iter().map(|i| i as NodeId));
+            }
+        }
+        self.partitions
+            .par_chunks_mut(1)
+            .zip(self.seed_scratch.par_chunks_mut(1))
+            .for_each(|(part, seeds)| part[0].rebuild(g, weights, &seeds[0]));
     }
 
     /// Number of granularity levels `⌈log₂ n⌉` (min 1).
@@ -456,7 +495,15 @@ impl Pyramids {
         needed_votes: usize,
         n: usize,
     ) -> Self {
-        Self { partitions, k, levels, needed_votes, n, repair_scratch: Vec::with_capacity(0) }
+        Self {
+            partitions,
+            k,
+            levels,
+            needed_votes,
+            n,
+            repair_scratch: Vec::with_capacity(0),
+            seed_scratch: Vec::with_capacity(0),
+        }
     }
 
     /// Checks the index shape (`k · ⌈log₂ n⌉` partitions with the Example 3
@@ -647,6 +694,38 @@ mod tests {
             }
         }
         batched.check_invariants(g, &w).unwrap();
+    }
+
+    /// In-place [`Pyramids::rebuild`] must be bit-identical to a fresh
+    /// [`Pyramids::build`] with the same seed — seeds, distances and parent
+    /// forests — even when the starting state was built under different
+    /// weights and a different seed.
+    #[test]
+    fn rebuild_matches_fresh_build_bitwise() {
+        let lg = connected_caveman(4, 5);
+        let g = &lg.graph;
+        let w0 = vec![1.0; g.m()];
+        let w1: Vec<f64> = (0..g.m()).map(|e| if e % 3 == 0 { 0.4 } else { 2.5 }).collect();
+        let mut rebuilt = Pyramids::build(g, &w0, 3, 0.7, 1);
+        rebuilt.rebuild(g, &w1, 9);
+        let fresh = Pyramids::build(g, &w1, 3, 0.7, 9);
+        for p in 0..3 {
+            for l in 0..fresh.num_levels() {
+                assert_eq!(rebuilt.partition(p, l).seeds(), fresh.partition(p, l).seeds());
+                for v in 0..g.n() as NodeId {
+                    assert_eq!(
+                        rebuilt.partition(p, l).dist(v).to_bits(),
+                        fresh.partition(p, l).dist(v).to_bits(),
+                        "pyramid {p} level {l} node {v}"
+                    );
+                    assert_eq!(
+                        rebuilt.partition(p, l).seed_of(v),
+                        fresh.partition(p, l).seed_of(v)
+                    );
+                }
+            }
+        }
+        rebuilt.check_invariants(g, &w1).unwrap();
     }
 
     #[test]

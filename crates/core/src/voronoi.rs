@@ -17,7 +17,7 @@
 
 use std::collections::BinaryHeap;
 
-use anc_graph::dijkstra::{multi_source_dijkstra, HeapEntry};
+use anc_graph::dijkstra::{multi_source_dijkstra_into, HeapEntry, ShortestPaths};
 use anc_graph::{EdgeId, Graph, NodeId, NO_NODE};
 
 /// One Voronoi partition (one granularity level of one pyramid).
@@ -50,28 +50,63 @@ impl VoronoiPartition {
     /// Builds the partition by multi-source Dijkstra from `seeds` under
     /// `weights` (indexed by edge id; must be positive and finite).
     pub fn build(g: &Graph, weights: &[f64], seeds: Vec<NodeId>) -> Self {
-        debug_assert!(!seeds.is_empty(), "a partition needs at least one seed");
-        let sp = multi_source_dijkstra(g, &seeds, |e| weights[e as usize]);
-        let n = g.n();
-        let mut children = vec![Vec::new(); n];
-        for v in 0..n {
-            let p = sp.parent[v];
-            if p != NO_NODE {
-                children[p as usize].push(v as NodeId);
-            }
-        }
-        Self {
+        let mut part = Self {
             seeds,
-            seed_of: sp.seed,
-            dist: sp.dist,
-            parent: sp.parent,
-            children,
-            mark: vec![0; n],
+            seed_of: Vec::new(),
+            dist: Vec::new(),
+            parent: Vec::new(),
+            children: Vec::new(),
+            mark: Vec::new(),
             stamp: 0,
-            // audit:allow(hot-alloc) -- empty Vec::new never allocates
             scratch_stack: Vec::new(),
             scratch_heap: BinaryHeap::new(),
+        };
+        part.rebuild_from_own_seeds(g, weights);
+        part
+    }
+
+    /// Rebuilds this partition in place from a fresh seed set, reusing every
+    /// buffer — the allocation-free path [`crate::pyramid::Pyramids::rebuild`]
+    /// takes on the per-batch adaptive rebuilds, where a fresh
+    /// [`Self::build`] per level used to allocate five arrays per partition.
+    pub fn rebuild(&mut self, g: &Graph, weights: &[f64], seeds: &[NodeId]) {
+        self.seeds.clear();
+        self.seeds.extend_from_slice(seeds);
+        self.rebuild_from_own_seeds(g, weights);
+    }
+
+    /// Shared core of [`Self::build`] and [`Self::rebuild`]: multi-source
+    /// Dijkstra into the partition's own (cleared) buffers, then re-derive
+    /// children lists in canonical increasing-node order and reset the
+    /// update-mark epoch.
+    fn rebuild_from_own_seeds(&mut self, g: &Graph, weights: &[f64]) {
+        debug_assert!(!self.seeds.is_empty(), "a partition needs at least one seed");
+        let n = g.n();
+        let mut sp = ShortestPaths {
+            dist: std::mem::take(&mut self.dist),
+            parent: std::mem::take(&mut self.parent),
+            seed: std::mem::take(&mut self.seed_of),
+        };
+        let mut heap = std::mem::take(&mut self.scratch_heap);
+        multi_source_dijkstra_into(g, &self.seeds, |e| weights[e as usize], &mut sp, &mut heap);
+        self.dist = sp.dist;
+        self.parent = sp.parent;
+        self.seed_of = sp.seed;
+        self.scratch_heap = heap;
+
+        for kids in &mut self.children {
+            kids.clear();
         }
+        self.children.resize_with(n, Default::default);
+        for v in 0..n {
+            let p = self.parent[v];
+            if p != NO_NODE {
+                self.children[p as usize].push(v as NodeId);
+            }
+        }
+        self.mark.clear();
+        self.mark.resize(n, 0);
+        self.stamp = 0;
     }
 
     /// The seed set.

@@ -77,6 +77,7 @@ const CRC32_TABLE: [u32; 256] = crc32_table();
 pub fn crc32(data: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &b in data {
+        // audit:allow(lossy-persist) -- widening: b is a u8 byte lifted to u32
         c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
@@ -108,9 +109,11 @@ pub fn put_u64(out: &mut Vec<u8>, v: u64) {
 #[inline]
 pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
     while v >= 0x80 {
+        // audit:allow(lossy-persist) -- deliberate: the low 7 bits of each LEB128 group
         out.push((v as u8 & 0x7F) | 0x80);
         v >>= 7;
     }
+    // audit:allow(lossy-persist) -- loop invariant v < 0x80: the cast is value-preserving
     out.push(v as u8);
 }
 

@@ -70,33 +70,58 @@ where
     W: Fn(EdgeId) -> Dist,
 {
     let n = g.n();
-    let mut dist = vec![Dist::INFINITY; n];
-    let mut parent = vec![NO_NODE; n];
-    let mut seed = vec![NO_NODE; n];
+    let mut sp = ShortestPaths {
+        dist: Vec::with_capacity(n),
+        parent: Vec::with_capacity(n),
+        seed: Vec::with_capacity(n),
+    };
     let mut heap = BinaryHeap::with_capacity(sources.len().max(16));
+    multi_source_dijkstra_into(g, sources, weight, &mut sp, &mut heap);
+    sp
+}
+
+/// Pooled-buffer core of [`multi_source_dijkstra`]: clears and refills the
+/// caller's `sp` vectors and `heap` instead of allocating. The repeated
+/// index-rebuild paths (`Pyramids::rebuild`) run through here so that
+/// rebuilding per level reuses the partition's own buffers.
+pub fn multi_source_dijkstra_into<W>(
+    g: &Graph,
+    sources: &[NodeId],
+    weight: W,
+    sp: &mut ShortestPaths,
+    heap: &mut BinaryHeap<HeapEntry>,
+) where
+    W: Fn(EdgeId) -> Dist,
+{
+    let n = g.n();
+    sp.dist.clear();
+    sp.dist.resize(n, Dist::INFINITY);
+    sp.parent.clear();
+    sp.parent.resize(n, NO_NODE);
+    sp.seed.clear();
+    sp.seed.resize(n, NO_NODE);
+    heap.clear();
 
     for &s in sources {
-        dist[s as usize] = 0.0;
-        seed[s as usize] = s;
+        sp.dist[s as usize] = 0.0;
+        sp.seed[s as usize] = s;
         heap.push(HeapEntry { dist: 0.0, node: s });
     }
 
     while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
-        if d > dist[v as usize] {
+        if d > sp.dist[v as usize] {
             continue; // stale entry
         }
         for (w, e) in g.edges_of(v) {
             let nd = d + weight(e);
-            if nd < dist[w as usize] {
-                dist[w as usize] = nd;
-                parent[w as usize] = v;
-                seed[w as usize] = seed[v as usize];
+            if nd < sp.dist[w as usize] {
+                sp.dist[w as usize] = nd;
+                sp.parent[w as usize] = v;
+                sp.seed[w as usize] = sp.seed[v as usize];
                 heap.push(HeapEntry { dist: nd, node: w });
             }
         }
     }
-
-    ShortestPaths { dist, parent, seed }
 }
 
 /// Single-source convenience wrapper around [`multi_source_dijkstra`].
