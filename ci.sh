@@ -71,6 +71,25 @@ for t in 1 4; do
         --test cache_determinism --test prop_batch -q
 done
 
+echo "==> serving layer: wire protocol + reader/writer stress (1 and 4 threads)"
+# The serving stress suite sweeps RAYON_NUM_THREADS internally and compares
+# the served engine byte-for-byte against a serial replay; it runs under
+# debug-invariants so the writer validates the full engine invariant set
+# after every drained cycle. Two fixed pool sizes pin the harness extremes,
+# matching the determinism suites above.
+cargo test -p anc-server --test wire_proto -q
+for t in 1 4; do
+    echo "    RAYON_NUM_THREADS=$t"
+    RAYON_NUM_THREADS=$t cargo test -p anc-server --features debug-invariants \
+        --test serve_stress -q
+done
+
+echo "==> exp12_serve --smoke (closed-loop serving smoke + BENCH_serve.json)"
+# End-to-end TCP serving smoke: three ingest:query mixes against a live
+# server, asserting zero unexpected errors and clean shutdown; writes the
+# minimal results/BENCH_serve.json.
+cargo run --release -q -p anc-bench --bin exp12_serve -- --smoke > /dev/null
+
 echo "==> seeded audit-violation suites (reachability + concurrency fixtures)"
 # The audit's deny rules run against trees seeded with known violations so
 # a silently-pass regression in the analyses themselves fails CI: each rule

@@ -57,8 +57,9 @@ use crate::dataflow::{scan_flow, FnFlow};
 use crate::lexer::{lock_name_override, matching, suppressed_rules, LexedFile, Token, TokenKind};
 
 /// Crates included in the call graph (the per-activation hot path lives
-/// here; `bench`/`cli`/`data` are driver code and may allocate freely).
-pub const CALL_GRAPH_CRATES: &[&str] = &["core", "decay", "graph"];
+/// here, and since ISSUE 10 the serving read/respond path too;
+/// `bench`/`cli`/`data` are driver code and may allocate freely).
+pub const CALL_GRAPH_CRATES: &[&str] = &["core", "decay", "graph", "server"];
 
 /// Hot entry points for A6 `panic-path`: everything on the activation and
 /// query fast path must be panic-free.
@@ -82,6 +83,16 @@ pub const PANIC_ROOTS: &[&str] = &[
     "DurableEngine::activate",
     "DurableEngine::activate_batch",
     "DurableEngine::activate_batch_adaptive",
+    // Serving layer (DESIGN.md §14): one panicking connection thread kills
+    // its client, so the whole per-request surface — decode, respond,
+    // encode, and the snapshot reads under them — must be panic-free.
+    "ConnState::respond",
+    "Request::decode",
+    "Response::encode",
+    "SnapshotReader::snapshot",
+    "ServeSnapshot::clusters_at",
+    "ServeSnapshot::same_cluster_at",
+    "ServeSnapshot::members_at",
 ];
 
 /// Per-activation entry points for A7 `hot-alloc`: these run once per stream
@@ -112,6 +123,13 @@ pub const QUERY_ROOTS: &[&str] = &[
     "AncEngine::cluster_all_cached",
     "AncEngine::same_cluster",
     "Pyramids::same_cluster",
+    // The serving reader path (DESIGN.md §14): readers chase the epoch'd
+    // snapshot chain and answer entirely off `Arc`s — wait-free by
+    // construction, and this rule keeps it that way.
+    "SnapshotReader::snapshot",
+    "ServeSnapshot::clusters_at",
+    "ServeSnapshot::same_cluster_at",
+    "ServeSnapshot::members_at",
 ];
 
 /// A panic or allocation marker inside one function body.

@@ -99,8 +99,11 @@ use lexer::{lex, suppressed_rules};
 /// Crates whose state mutation must be deterministic: `hash-iter` applies.
 pub const ORDER_SENSITIVE_CRATES: &[&str] = &["core", "decay", "graph"];
 
-/// Crates allowed to read wall clocks and OS RNGs.
-pub const WALL_CLOCK_EXEMPT_CRATES: &[&str] = &["bench", "cli"];
+/// Crates allowed to read wall clocks and OS RNGs. `server` qualifies
+/// because its clock reads are pure observability — enqueue-to-apply
+/// latency accounting and read timeouts — never inputs to clustering
+/// state, which stays driven by activation timestamps.
+pub const WALL_CLOCK_EXEMPT_CRATES: &[&str] = &["bench", "cli", "server"];
 
 /// Crates whose non-test `unwrap()`/`expect()` count is budgeted (A5) —
 /// the same hot-path crates the call graph covers.

@@ -247,3 +247,69 @@ fn explain_prints_rules_by_name_and_id() {
         .expect("run anc-audit");
     assert_eq!(unknown.status.code(), Some(2), "unknown rule is a usage error");
 }
+
+/// Lays down a minimal workspace whose code lives in the **server** crate,
+/// covering the serving reader roots added in ISSUE 10.
+fn seed_server_tree(tmp: &Path, server_src: &str) {
+    let server_dir = tmp.join("crates/server/src");
+    std::fs::create_dir_all(&server_dir).unwrap();
+    std::fs::write(server_dir.join("lib.rs"), "#![forbid(unsafe_code)]\npub mod snapshot;\n")
+        .unwrap();
+    std::fs::write(server_dir.join("snapshot.rs"), server_src).unwrap();
+    let audit_dir = tmp.join("crates/audit");
+    std::fs::create_dir_all(&audit_dir).unwrap();
+    std::fs::write(audit_dir.join("baseline_a5.txt"), "# empty A5 baseline\n").unwrap();
+    std::fs::write(audit_dir.join("baseline_a7.txt"), "# empty A7 baseline\n").unwrap();
+}
+
+/// A lock one call below the wait-free serving root
+/// `ServeSnapshot::same_cluster_at` (no unwrap: only A11 may fire).
+fn serve_reader_src(allowed: bool) -> String {
+    let allow = if allowed {
+        "// audit:allow(blocking-in-reader) -- fixture: provably uncontended here\n      "
+    } else {
+        ""
+    };
+    format!(
+        "pub struct ServeSnapshot {{\n\
+           labels: std::sync::Mutex<Vec<u32>>,\n\
+         }}\n\
+         impl ServeSnapshot {{\n\
+           pub fn same_cluster_at(&self, u: u32, v: u32) -> Option<bool> {{\n\
+             self.lookup(u, v)\n\
+           }}\n\
+           fn lookup(&self, u: u32, v: u32) -> Option<bool> {{\n\
+             {allow}if let Ok(l) = self.labels.lock() {{\n\
+               return Some(l.get(u as usize) == l.get(v as usize));\n\
+             }}\n\
+             None\n\
+           }}\n\
+         }}\n"
+    )
+}
+
+#[test]
+fn seeded_lock_under_serving_reader_root_exits_nonzero() {
+    let tmp = tmp_dir("a11-serve");
+    seed_server_tree(&tmp, &serve_reader_src(false));
+    let (code, stdout) = run_audit(&tmp);
+    std::fs::remove_dir_all(&tmp).unwrap();
+
+    assert_eq!(code, 1, "a blocking serving reader must fail the audit; stdout: {stdout}");
+    assert!(stdout.contains("\"rule\":\"blocking-in-reader\""), "must attribute to A11: {stdout}");
+    assert!(
+        stdout.contains("ServeSnapshot::same_cluster_at → ServeSnapshot::lookup")
+            || stdout.contains("ServeSnapshot::same_cluster_at \\u2192 ServeSnapshot::lookup"),
+        "the finding must carry the serving reader chain: {stdout}"
+    );
+}
+
+#[test]
+fn seeded_lock_under_serving_reader_root_allow_clears_it() {
+    let tmp = tmp_dir("a11-serve-allow");
+    seed_server_tree(&tmp, &serve_reader_src(true));
+    let (code, stdout) = run_audit(&tmp);
+    std::fs::remove_dir_all(&tmp).unwrap();
+    assert_eq!(code, 0, "a justified allow must clear the serving A11; stdout: {stdout}");
+    assert!(stdout.contains("\"ok\":true"), "{stdout}");
+}

@@ -125,3 +125,86 @@ fn seeded_allow_silences_the_panic_path() {
     assert_eq!(code, 0, "an allowed panic must not fail the audit; stdout: {stdout}");
     assert!(stdout.contains("\"ok\":true"), "{stdout}");
 }
+
+/// Lays down a minimal workspace whose hot code lives in the **server**
+/// crate — the serving-path roots added in ISSUE 10 (`ConnState::respond`,
+/// `Request::decode`) must be picked up by the same scan.
+fn seed_server_tree(tmp: &Path, server_src: &str) {
+    let server_dir = tmp.join("crates/server/src");
+    std::fs::create_dir_all(&server_dir).unwrap();
+    std::fs::write(server_dir.join("lib.rs"), "#![forbid(unsafe_code)]\npub mod tcp;\n").unwrap();
+    std::fs::write(server_dir.join("tcp.rs"), server_src).unwrap();
+    let audit_dir = tmp.join("crates/audit");
+    std::fs::create_dir_all(&audit_dir).unwrap();
+    std::fs::write(audit_dir.join("baseline_a5.txt"), "# empty A5 baseline\n").unwrap();
+    std::fs::write(audit_dir.join("baseline_a7.txt"), "# empty A7 baseline\n").unwrap();
+}
+
+/// The per-request serving surface with panics below two of the new roots;
+/// `allowed` suppresses both with justified comments.
+fn serving_panic_src(allowed: bool) -> String {
+    let allow_respond = if allowed {
+        "// audit:allow(panic-path) -- fixture: length checked by the frame layer\n      "
+    } else {
+        ""
+    };
+    let allow_decode = if allowed {
+        "// audit:allow(panic-path) -- fixture: tag verified by the caller\n      "
+    } else {
+        ""
+    };
+    format!(
+        "pub struct ConnState {{\n\
+           n: usize,\n\
+         }}\n\
+         impl ConnState {{\n\
+           pub fn respond(&mut self, req: &[u8]) -> u8 {{\n\
+             self.first(req)\n\
+           }}\n\
+           fn first(&self, req: &[u8]) -> u8 {{\n\
+             {allow_respond}*req.first().unwrap()\n\
+           }}\n\
+         }}\n\
+         pub struct Request;\n\
+         impl Request {{\n\
+           pub fn decode(buf: &[u8]) -> u8 {{\n\
+             Self::tag(buf)\n\
+           }}\n\
+           fn tag(buf: &[u8]) -> u8 {{\n\
+             match buf.first() {{\n\
+               Some(&t) => t,\n\
+               {allow_decode}None => unreachable!(\"caller framed the buffer\"),\n\
+             }}\n\
+           }}\n\
+         }}\n"
+    )
+}
+
+#[test]
+fn seeded_panics_under_serving_roots_exit_nonzero() {
+    let tmp = tmp_dir("a6-serve");
+    seed_server_tree(&tmp, &serving_panic_src(false));
+    let (code, stdout) = run_audit(&tmp);
+    std::fs::remove_dir_all(&tmp).unwrap();
+
+    assert_eq!(code, 1, "panics under serving roots must fail the audit; stdout: {stdout}");
+    assert!(stdout.contains("\"rule\":\"panic-path\""), "must attribute to A6: {stdout}");
+    assert!(
+        stdout.contains("ConnState::respond") && stdout.contains("ConnState::first"),
+        "the respond chain must be named: {stdout}"
+    );
+    assert!(
+        stdout.contains("Request::decode") && stdout.contains("Request::tag"),
+        "the decode chain must be named: {stdout}"
+    );
+}
+
+#[test]
+fn seeded_panics_under_serving_roots_allow_clears_them() {
+    let tmp = tmp_dir("a6-serve-allow");
+    seed_server_tree(&tmp, &serving_panic_src(true));
+    let (code, stdout) = run_audit(&tmp);
+    std::fs::remove_dir_all(&tmp).unwrap();
+    assert_eq!(code, 0, "justified allows must clear the serving roots; stdout: {stdout}");
+    assert!(stdout.contains("\"ok\":true"), "{stdout}");
+}

@@ -1,0 +1,220 @@
+//! **Exp 12** — serving-path benchmark: closed-loop mixed ingest/query
+//! traffic against the `anc-server` TCP front end (DESIGN.md §14).
+//!
+//! For each ingest:query mix (1:9, 1:1, 9:1) a fresh server is started on
+//! the n=4000 planted-partition workload, driven by the closed-loop load
+//! generator, and torn down gracefully. Recorded per mix:
+//!
+//! * client-side throughput and p50/p99/p999 end-to-end latency (overall
+//!   plus the ingest and query splits), from hand-rolled log-bucketed
+//!   histograms;
+//! * server-side cumulative counters fetched over the wire `stats`
+//!   request: applied batches, coalescing (jobs merged per batch, max
+//!   batch), Exact/Fused split, shed submissions, cache hit/miss, and
+//!   enqueue-to-apply p50/p99/p999.
+//!
+//! Everything lands in `results/BENCH_serve.json` — the repo's first
+//! serving-path perf trajectory.
+//!
+//! Usage: `cargo run --release -p anc-bench --bin exp12_serve
+//! [--smoke] [--scale f] [--seed u64]`
+//!
+//! `--smoke` shrinks to n = 400 and a short fixed request budget for CI.
+
+use anc_bench::args::HarnessArgs;
+use anc_bench::loadgen::{closed_loop, LoadConfig};
+use anc_bench::report::{write_json, Table};
+use anc_core::{AncConfig, AncEngine, ClusterMode};
+use anc_graph::gen::{planted_partition, PlantedConfig};
+use anc_server::{EngineBackend, Request, Response, ServeConfig, ServerCore, TcpServer};
+
+const MIXES: &[(&str, f64)] = &[("1:9", 0.1), ("1:1", 0.5), ("9:1", 0.9)];
+
+fn main() {
+    let args = HarnessArgs::parse(1.0);
+    let smoke = args.has("smoke");
+    let n = if smoke { 400 } else { ((4000.0 * args.scale) as usize).max(400) };
+    let connections = if smoke { 2 } else { 4 };
+    let requests_per_conn = if smoke { 150 } else { 2_500 };
+
+    let planted = planted_partition(&PlantedConfig::default_for(n), args.seed);
+    let g = planted.graph;
+    let m = g.m();
+    let cfg = AncConfig { k: 2, rep: 1, ..Default::default() };
+    eprintln!("[exp12] planted n={n} m={m}: building index…");
+
+    let mut table = Table::new(vec![
+        "mix",
+        "reqs",
+        "rps",
+        "p50 µs",
+        "p99 µs",
+        "p999 µs",
+        "q p99 µs",
+        "in p99 µs",
+        "shed",
+        "batches",
+        "max batch",
+        "fused",
+    ]);
+    let mut rows = Vec::new();
+
+    for &(mix_name, ingest_ratio) in MIXES {
+        // Fresh server per mix: mixes stay independent and comparable.
+        let engine = AncEngine::new(g.clone(), cfg.clone(), args.seed);
+        let level = engine.default_level();
+        let core = ServerCore::start(
+            EngineBackend::Volatile(engine),
+            ServeConfig {
+                queue_capacity: 1024,
+                coalesce_max: 256,
+                fused_min_batch: Some(64),
+                levels: vec![level],
+                modes: vec![ClusterMode::Even],
+            },
+        )
+        .expect("server core");
+        let server = TcpServer::start(core, "127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+
+        let load = LoadConfig {
+            connections,
+            requests_per_conn,
+            ingest_ratio,
+            edges_per_ingest: 16,
+            ticks_per_step: 8,
+            n: n as u32,
+            m: m as u32,
+            level,
+            mode: ClusterMode::Even,
+            seed: args.seed ^ 0x12,
+        };
+        eprintln!(
+            "[exp12] mix {mix_name}: {} conns x {} reqs (ingest ratio {ingest_ratio})…",
+            load.connections, load.requests_per_conn
+        );
+        let report = closed_loop(addr, &load);
+
+        // Server-side counters over the wire, then graceful teardown. Under
+        // saturation the flush itself can be shed off the full queue —
+        // retry until it lands so the stats read is final.
+        let mut client = anc_server::WireClient::connect(addr).expect("stats client");
+        loop {
+            match client.call(&Request::Flush).expect("flush") {
+                Response::Flushed { .. } => break,
+                Response::Error { code: anc_server::ErrorCode::Overloaded, .. } => {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                other => panic!("expected Flushed, got {other:?}"),
+            }
+        }
+        let stats = match client.call(&Request::Stats).expect("stats") {
+            Response::Stats(s) => s,
+            other => panic!("expected Stats, got {other:?}"),
+        };
+        drop(client);
+        let shutdown = server.shutdown();
+
+        assert_eq!(report.errors, 0, "mix {mix_name}: unexpected errors");
+        assert!(report.queries > 0, "mix {mix_name}: no queries served");
+        assert!(
+            report.ingests > 0 || report.shed > 0,
+            "mix {mix_name}: no ingest traffic reached the server"
+        );
+        assert!(shutdown.wal_error.is_none(), "mix {mix_name}: unclean shutdown");
+        assert_eq!(
+            shutdown.stats.ingested_jobs, stats.ingested_jobs,
+            "post-flush stats must already be final"
+        );
+
+        let us = |ns: u64| ns as f64 / 1_000.0;
+        table.row(vec![
+            mix_name.to_string(),
+            report.requests.to_string(),
+            format!("{:.0}", report.throughput_rps()),
+            format!("{:.1}", us(report.latency.quantile(0.50))),
+            format!("{:.1}", us(report.latency.quantile(0.99))),
+            format!("{:.1}", us(report.latency.quantile(0.999))),
+            format!("{:.1}", us(report.query_latency.quantile(0.99))),
+            format!("{:.1}", us(report.ingest_latency.quantile(0.99))),
+            report.shed.to_string(),
+            stats.applied_batches.to_string(),
+            stats.max_batch_edges.to_string(),
+            stats.fused_batches.to_string(),
+        ]);
+        let client_latency = serde_json::json!({
+            "p50_ns": report.latency.quantile(0.50),
+            "p99_ns": report.latency.quantile(0.99),
+            "p999_ns": report.latency.quantile(0.999),
+            "max_ns": report.latency.max(),
+            "count": report.latency.count(),
+        });
+        let client_query_latency = serde_json::json!({
+            "p50_ns": report.query_latency.quantile(0.50),
+            "p99_ns": report.query_latency.quantile(0.99),
+            "p999_ns": report.query_latency.quantile(0.999),
+        });
+        let client_ingest_latency = serde_json::json!({
+            "p50_ns": report.ingest_latency.quantile(0.50),
+            "p99_ns": report.ingest_latency.quantile(0.99),
+            "p999_ns": report.ingest_latency.quantile(0.999),
+        });
+        let apply_latency = serde_json::json!({
+            "p50_ns": stats.apply_p50_ns,
+            "p99_ns": stats.apply_p99_ns,
+            "p999_ns": stats.apply_p999_ns,
+            "max_ns": stats.apply_max_ns,
+            "count": stats.apply_count,
+        });
+        let server_json = serde_json::json!({
+            "epoch": stats.epoch,
+            "applied_seq": stats.applied_seq,
+            "generation": stats.generation,
+            "ingested_jobs": stats.ingested_jobs,
+            "ingested_edges": stats.ingested_edges,
+            "applied_batches": stats.applied_batches,
+            "coalesced_jobs": stats.coalesced_jobs,
+            "max_batch_edges": stats.max_batch_edges,
+            "exact_batches": stats.exact_batches,
+            "fused_batches": stats.fused_batches,
+            "shed": stats.shed,
+            "cache_hits": stats.cache_hits,
+            "cache_misses": stats.cache_misses,
+            "apply_latency": apply_latency,
+        });
+        rows.push(serde_json::json!({
+            "mix": mix_name,
+            "ingest_ratio": ingest_ratio,
+            "connections": load.connections,
+            "requests_per_conn": load.requests_per_conn,
+            "requests": report.requests,
+            "ingests": report.ingests,
+            "queries": report.queries,
+            "shed": report.shed,
+            "errors": report.errors,
+            "wall_seconds": report.wall_s,
+            "throughput_rps": report.throughput_rps(),
+            "client_latency": client_latency,
+            "client_query_latency": client_query_latency,
+            "client_ingest_latency": client_ingest_latency,
+            "server": server_json,
+        }));
+    }
+
+    println!("\n=== Exp 12: Serving Layer (closed-loop) ===");
+    table.print();
+    let path = write_json(
+        "BENCH_serve",
+        &serde_json::json!({
+            "smoke": smoke,
+            "seed": args.seed,
+            "n": n,
+            "m": m,
+            "connections": connections,
+            "requests_per_conn": requests_per_conn,
+            "mixes": rows,
+        }),
+    )
+    .unwrap();
+    println!("[exp12] JSON written to {}", path.display());
+}

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod loadgen;
 pub mod methods;
 pub mod report;
 

@@ -1,0 +1,180 @@
+//! Closed-loop load generator for the serving layer (ISSUE 10).
+//!
+//! Drives a running `anc-server` TCP front end with a configurable number
+//! of client connections, each issuing a fixed count of requests
+//! back-to-back (closed loop: the next request leaves when the previous
+//! response arrives, so offered load adapts to server speed and measured
+//! latency is end-to-end, queueing included). The ingest:query mix is a
+//! probability per request; queries split 60/30/10 between
+//! `same_cluster`, cluster summaries, and member (zoom) listings.
+//!
+//! Activation timestamps come from one shared atomic tick, so
+//! interleaving across connections keeps time approximately monotone (the
+//! decay clock tolerates reordering — it only ever advances). Latencies
+//! land in per-connection log-bucketed [`LatencyHistogram`]s merged into
+//! one [`LoadReport`].
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use anc_core::ClusterMode;
+use anc_server::{ErrorCode, LatencyHistogram, Request, Response, WireClient};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Workload shape for one [`closed_loop`] run.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Concurrent client connections (one thread each).
+    pub connections: usize,
+    /// Requests per connection (closed loop).
+    pub requests_per_conn: usize,
+    /// Probability that a request is an ingest (the rest are queries).
+    pub ingest_ratio: f64,
+    /// Edges activated per ingest request.
+    pub edges_per_ingest: usize,
+    /// Ingests sharing one timestamp step (time advances every
+    /// `ticks_per_step` ingests). Coarser time lets the writer merge
+    /// same-timestamp runs into bigger coalesced batches.
+    pub ticks_per_step: u64,
+    /// Node count of the served network (query id range).
+    pub n: u32,
+    /// Edge count of the served network (ingest id range).
+    pub m: u32,
+    /// Level queried (must be in the server's published set).
+    pub level: usize,
+    /// Mode queried (must be in the server's published set).
+    pub mode: ClusterMode,
+    /// Base RNG seed (each connection derives its own).
+    pub seed: u64,
+}
+
+/// Merged outcome of one [`closed_loop`] run.
+#[derive(Debug, Default)]
+pub struct LoadReport {
+    /// Requests issued (ingests + queries).
+    pub requests: u64,
+    /// Ingest requests acknowledged.
+    pub ingests: u64,
+    /// Query requests answered.
+    pub queries: u64,
+    /// Ingests shed by backpressure (`Overloaded` replies — expected
+    /// under saturation, reported separately from errors).
+    pub shed: u64,
+    /// Unexpected error replies or transport failures.
+    pub errors: u64,
+    /// Wall-clock of the whole run, seconds.
+    pub wall_s: f64,
+    /// End-to-end request latency (all request kinds), nanoseconds.
+    pub latency: LatencyHistogram,
+    /// End-to-end latency of query requests only, nanoseconds.
+    pub query_latency: LatencyHistogram,
+    /// End-to-end latency of ingest requests only, nanoseconds.
+    pub ingest_latency: LatencyHistogram,
+}
+
+impl LoadReport {
+    /// Completed requests per second over the run's wall-clock.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.requests as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+fn merge_into(total: &mut LoadReport, part: &LoadReport) {
+    total.requests += part.requests;
+    total.ingests += part.ingests;
+    total.queries += part.queries;
+    total.shed += part.shed;
+    total.errors += part.errors;
+    total.latency.merge(&part.latency);
+    total.query_latency.merge(&part.query_latency);
+    total.ingest_latency.merge(&part.ingest_latency);
+}
+
+fn run_connection(
+    addr: SocketAddr,
+    cfg: &LoadConfig,
+    conn_id: usize,
+    tick: &AtomicU64,
+) -> LoadReport {
+    let mut report = LoadReport::default();
+    let mut client = match WireClient::connect(addr) {
+        Ok(c) => c,
+        Err(_) => {
+            report.errors += 1;
+            return report;
+        }
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ (0x9E37_79B9 + conn_id as u64));
+    for _ in 0..cfg.requests_per_conn {
+        let is_ingest = rng.gen::<f64>() < cfg.ingest_ratio;
+        let request = if is_ingest {
+            let step = tick.fetch_add(1, Ordering::Relaxed) / cfg.ticks_per_step.max(1);
+            let t = (step + 1) as f64 * 1e-2;
+            let edges: Vec<u32> =
+                (0..cfg.edges_per_ingest).map(|_| rng.gen_range(0..cfg.m)).collect();
+            Request::Ingest { t, edges }
+        } else {
+            let kind = rng.gen_range(0u32..10);
+            if kind < 6 {
+                Request::SameCluster {
+                    u: rng.gen_range(0..cfg.n),
+                    v: rng.gen_range(0..cfg.n),
+                    level: cfg.level,
+                    mode: cfg.mode,
+                }
+            } else if kind < 9 {
+                Request::ClusterSummary { level: cfg.level, mode: cfg.mode }
+            } else {
+                Request::Members { v: rng.gen_range(0..cfg.n), level: cfg.level, mode: cfg.mode }
+            }
+        };
+        let start = Instant::now();
+        let response = client.call(&request);
+        let nanos = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        report.requests += 1;
+        report.latency.record(nanos);
+        if is_ingest {
+            report.ingest_latency.record(nanos);
+        } else {
+            report.query_latency.record(nanos);
+        }
+        match response {
+            Ok(Response::Error { code: ErrorCode::Overloaded, .. }) => report.shed += 1,
+            Ok(Response::Error { .. }) | Err(_) => report.errors += 1,
+            Ok(_) if is_ingest => report.ingests += 1,
+            Ok(_) => report.queries += 1,
+        }
+    }
+    report
+}
+
+/// Runs the closed-loop workload against a serving front end at `addr`
+/// and returns the merged report.
+pub fn closed_loop(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
+    let tick = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let mut total = LoadReport::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.connections)
+            .map(|conn_id| {
+                let tick = Arc::clone(&tick);
+                scope.spawn(move || run_connection(addr, cfg, conn_id, &tick))
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => merge_into(&mut total, &part),
+                Err(_) => total.errors += 1,
+            }
+        }
+    });
+    total.wall_s = start.elapsed().as_secs_f64();
+    total
+}

@@ -230,6 +230,109 @@ pub fn query(opts: &Options) -> Result<String, String> {
     Ok(s)
 }
 
+/// `anc serve`: host an engine behind the length-prefixed TCP wire
+/// protocol (DESIGN.md §14) until a client sends a `shutdown` request.
+///
+/// With `--durable-dir` the engine runs write-ahead logged: an existing
+/// directory is recovered (`--engine` is then optional), a fresh one is
+/// seeded from the `--engine` checkpoint. Without it the engine is
+/// volatile and `--out` can save the final state after shutdown.
+pub fn serve(opts: &Options) -> Result<String, String> {
+    use anc_core::persist::SNAPSHOT_FILE;
+    use anc_core::{DurabilityOptions, DurableEngine};
+    use anc_server::{EngineBackend, ServeConfig, TcpServer};
+
+    let bind = opts.get("bind").unwrap_or("127.0.0.1:0");
+    let queue: usize = opts.get_or("queue", 1024)?;
+    let coalesce: usize = opts.get_or("coalesce", 256)?;
+    let fused_min = match opts.get("fused-min") {
+        Some(_) => Some(opts.require_parsed::<usize>("fused-min")?),
+        None => None,
+    };
+
+    let backend = if let Some(dir) = opts.get("durable-dir") {
+        let path = std::path::Path::new(dir);
+        let durable = if path.join(SNAPSHOT_FILE).exists() {
+            DurableEngine::open(path, DurabilityOptions::default())
+                .map_err(|e| format!("cannot recover {dir}: {e}"))?
+        } else {
+            let engine = load_engine(opts)?;
+            DurableEngine::create(engine, path, DurabilityOptions::default())
+                .map_err(|e| format!("cannot initialise {dir}: {e}"))?
+        };
+        EngineBackend::Durable(durable)
+    } else {
+        EngineBackend::Volatile(load_engine(opts)?)
+    };
+
+    let engine = backend.engine();
+    let level: usize = opts.get_or("level", engine.default_level())?;
+    let modes = match opts.get("mode").unwrap_or("both") {
+        "power" => vec![ClusterMode::Power],
+        "even" => vec![ClusterMode::Even],
+        "both" => vec![ClusterMode::Even, ClusterMode::Power],
+        other => return Err(format!("--mode must be power|even|both, got {other:?}")),
+    };
+
+    let core = anc_server::ServerCore::start(
+        backend,
+        ServeConfig {
+            queue_capacity: queue,
+            coalesce_max: coalesce,
+            fused_min_batch: fused_min,
+            levels: vec![level],
+            modes,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let server = TcpServer::start(core, bind).map_err(|e| format!("cannot bind {bind}: {e}"))?;
+    let addr = server.local_addr();
+    eprintln!("serving on {addr} at level {level}; send a shutdown request to stop");
+    if let Some(path) = opts.get("addr-file") {
+        std::fs::write(path, addr.to_string()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+
+    // Park until a wire shutdown flips the stop flag; all real work
+    // happens on the server's accept/connection/writer threads.
+    while !server.stop_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    let report = server.shutdown();
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "served on {addr}: {} jobs ({} edges) over {} applied batches \
+         ({} exact, {} fused, max batch {} edges), {} coalesced jobs, {} shed; \
+         final epoch {}",
+        report.stats.ingested_jobs,
+        report.stats.ingested_edges,
+        report.stats.applied_batches,
+        report.stats.exact_batches,
+        report.stats.fused_batches,
+        report.stats.max_batch_edges,
+        report.stats.coalesced_jobs,
+        report.stats.shed,
+        report.final_epoch,
+    );
+    if let Some(e) = &report.wal_error {
+        let _ = writeln!(s, "WARNING: write-ahead log failed during serving: {e}");
+    }
+    if let Some(out) = opts.get("out") {
+        match &report.backend {
+            EngineBackend::Volatile(engine) => {
+                save_engine(engine, out)?;
+                let _ = writeln!(s, "final engine state → {out}");
+            }
+            EngineBackend::Durable(_) => {
+                return Err("--out is for volatile serving; durable state lives in --durable-dir"
+                    .to_string());
+            }
+        }
+    }
+    Ok(s)
+}
+
 /// `anc distance`: approximate (index) and exact distance between two nodes.
 pub fn distance(opts: &Options) -> Result<String, String> {
     let engine = load_engine(opts)?;

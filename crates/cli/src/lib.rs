@@ -11,6 +11,7 @@
 //! anc clusters --engine engine.json [--level L] [--mode power|even]
 //! anc query    --engine engine.json --node 17 [--level L] [--zoom-out n]
 //! anc distance --engine engine.json --from 3 --to 99
+//! anc serve    --engine engine.json [--bind 127.0.0.1:0] [--durable-dir DIR]
 //! ```
 //!
 //! Graphs are plain `u v` edge lists (SNAP format, `#` comments); engine
@@ -42,6 +43,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "clusters" => commands::clusters(&opts),
         "query" => commands::query(&opts),
         "distance" => commands::distance(&opts),
+        "serve" => commands::serve(&opts),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n\n{}", usage())),
     }
@@ -71,5 +73,14 @@ pub fn usage() -> String {
     let _ = writeln!(s, "  clusters  --engine FILE [--level L] [--mode power|even]");
     let _ = writeln!(s, "  query     --engine FILE --node V [--level L] [--zoom-out N]");
     let _ = writeln!(s, "  distance  --engine FILE --from U --to V");
+    let _ = writeln!(
+        s,
+        "  serve     --engine FILE [--bind ADDR] [--addr-file FILE] [--durable-dir DIR]"
+    );
+    let _ = writeln!(
+        s,
+        "            [--queue N] [--coalesce N] [--fused-min N] [--level L] \
+         [--mode power|even|both] [--out FILE]"
+    );
     s
 }

@@ -95,6 +95,42 @@ pub struct QueryStats {
     pub misses: u64,
 }
 
+impl QueryDecision {
+    /// Work rank of the decision (`Hit` cheapest … `ColdFill` costliest);
+    /// merging keeps the costlier side.
+    fn cost_rank(self) -> u8 {
+        match self {
+            QueryDecision::Hit => 0,
+            QueryDecision::Extract => 1,
+            QueryDecision::Repair => 2,
+            QueryDecision::Rebuild => 3,
+            QueryDecision::ColdFill => 4,
+        }
+    }
+}
+
+/// Merges two query records so per-query stats can be folded into one
+/// cumulative tally (`total += stats`), e.g. by the serving writer loop.
+///
+/// Per-query work counters (`dirty_edges`, `revoted`, `flips`) sum;
+/// `generation`/`epoch` keep the newest; the cumulative cache counters
+/// (`hits`, `misses`) keep the max since every record already carries the
+/// cache-lifetime totals; `decision` keeps the costlier of the two.
+impl std::ops::AddAssign<QueryStats> for QueryStats {
+    fn add_assign(&mut self, rhs: QueryStats) {
+        self.generation = self.generation.max(rhs.generation);
+        self.epoch = self.epoch.max(rhs.epoch);
+        self.dirty_edges += rhs.dirty_edges;
+        self.revoted += rhs.revoted;
+        self.flips += rhs.flips;
+        if rhs.decision.cost_rank() > self.decision.cost_rank() {
+            self.decision = rhs.decision;
+        }
+        self.hits = self.hits.max(rhs.hits);
+        self.misses = self.misses.max(rhs.misses);
+    }
+}
+
 /// Per-level cached state (materialized on first query of the level).
 #[derive(Clone, Debug, Default)]
 struct LevelCache {

@@ -65,6 +65,21 @@ pub struct BatchStats {
     pub wall: Duration,
 }
 
+/// Merges two batch records: every counter sums, `rebuilt` is sticky, and
+/// the wall times add — so a thread (or the serving writer loop) can fold
+/// per-batch records into one cumulative tally with `total += stats`.
+impl std::ops::AddAssign<BatchStats> for BatchStats {
+    fn add_assign(&mut self, rhs: BatchStats) {
+        self.edges_in += rhs.edges_in;
+        self.dirty_edges += rhs.dirty_edges;
+        self.sigma_recomputes += rhs.sigma_recomputes;
+        self.repair_updates += rhs.repair_updates;
+        self.repair_skips += rhs.repair_skips;
+        self.rebuilt |= rhs.rebuilt;
+        self.wall += rhs.wall;
+    }
+}
+
 /// The online activation-network clustering engine (ANCO core).
 ///
 /// ```
@@ -746,6 +761,44 @@ impl AncEngine {
         self.cache.get_mut()
     }
 
+    /// Selects the execution mode of subsequent [`Self::activate_batch`]
+    /// calls. The serving layer's adaptive coalescing policy flips this per
+    /// drained batch (Exact for short batches, Fused past a threshold);
+    /// [`crate::DurableEngine`] deliberately does not expose it, because a
+    /// mode flip between logged batches would change what WAL replay
+    /// reconstructs.
+    pub fn set_batch_mode(&mut self, mode: BatchMode) {
+        self.cfg.batch = mode;
+    }
+
+    /// Snapshot-publish hook for the serving layer (DESIGN.md §14): brings
+    /// the cache current at every requested `(level, mode)` pair — paying
+    /// any pending repairs *now*, on the calling (writer) thread — and
+    /// returns the refreshed `Arc` clusterings as one immutable
+    /// [`ClusterView`] ready to hand to [`crate::publish::Publisher`].
+    ///
+    /// Readers holding the view answer membership queries from its `Arc`s
+    /// without ever touching the engine, so the per-query path stays
+    /// wait-free (audit rule A11).
+    pub fn refresh_view(&self, levels: &[usize], modes: &[ClusterMode]) -> ClusterView {
+        let mut view = ClusterView::default();
+        for &level in levels {
+            let mut lc = LevelClusters { level, epoch: 0, even: None, power: None };
+            for &mode in modes {
+                let (c, qs) = self.cluster_all_cached(level, mode);
+                view.generation = view.generation.max(qs.generation);
+                lc.epoch = lc.epoch.max(qs.epoch);
+                view.query += qs;
+                match mode {
+                    ClusterMode::Even => lc.even = Some(c),
+                    ClusterMode::Power => lc.power = Some(c),
+                }
+            }
+            view.levels.push(lc);
+        }
+        view
+    }
+
     /// The cluster containing `v` at `level` (Problem 1(2)); even-clustering
     /// semantics, cost proportional to the result (Lemma 9).
     pub fn local_cluster(&self, v: NodeId, level: usize) -> Vec<NodeId> {
@@ -950,6 +1003,50 @@ impl OfflineSnapshot {
     /// All clusters at `level` from the snapshot index.
     pub fn cluster_all(&self, g: &Graph, level: usize, mode: ClusterMode) -> Clustering {
         cluster_all(g, &self.pyramids, level, mode)
+    }
+}
+
+/// The cached clusterings of one level inside a [`ClusterView`].
+#[derive(Clone, Debug)]
+pub struct LevelClusters {
+    /// The granularity level these clusterings answer.
+    pub level: usize,
+    /// The level's rebuild epoch at refresh time (see
+    /// [`QueryStats::epoch`]).
+    pub epoch: u64,
+    /// Even-mode clustering, if requested from [`AncEngine::refresh_view`].
+    pub even: Option<Arc<Clustering>>,
+    /// Power-mode clustering, if requested.
+    pub power: Option<Arc<Clustering>>,
+}
+
+/// An immutable, shareable view of the cached clusterings at a set of
+/// levels — the unit the serving layer publishes to its readers after each
+/// drained ingest batch ([`AncEngine::refresh_view`], DESIGN.md §14).
+#[derive(Clone, Debug, Default)]
+pub struct ClusterView {
+    /// Cache generation every clustering in this view was refreshed at; two
+    /// views with equal generation saw the same logical index state.
+    pub generation: u64,
+    /// One entry per requested level, in request order.
+    pub levels: Vec<LevelClusters>,
+    /// The refresh queries' merged [`QueryStats`].
+    pub query: QueryStats,
+}
+
+impl ClusterView {
+    /// The view's entry for `level`, if it was requested.
+    pub fn at_level(&self, level: usize) -> Option<&LevelClusters> {
+        self.levels.iter().find(|l| l.level == level)
+    }
+
+    /// The clustering at `(level, mode)`, if the view carries it.
+    pub fn clusters(&self, level: usize, mode: ClusterMode) -> Option<&Arc<Clustering>> {
+        let lc = self.at_level(level)?;
+        match mode {
+            ClusterMode::Even => lc.even.as_ref(),
+            ClusterMode::Power => lc.power.as_ref(),
+        }
     }
 }
 

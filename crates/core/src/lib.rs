@@ -38,6 +38,7 @@ pub mod engine;
 pub mod invariant;
 pub mod metric;
 pub mod persist;
+pub mod publish;
 pub mod pyramid;
 pub mod query;
 pub mod reinforce;
@@ -48,12 +49,13 @@ pub mod vote;
 pub use cache::{ClusterCache, QueryDecision, QueryStats};
 pub use cluster::ClusterMode;
 pub use config::{AncConfig, BatchMode};
-pub use engine::{AncEngine, BatchStats, OfflineSnapshot};
+pub use engine::{AncEngine, BatchStats, ClusterView, LevelClusters, OfflineSnapshot};
 pub use invariant::InvariantViolation;
 pub use persist::{
     DurabilityOptions, DurableEngine, EngineSnapshot, RestoreError, SnapshotProfile, WalReader,
     WalRecord,
 };
+pub use publish::{Publisher, ReadHandle};
 pub use pyramid::{Pyramids, RepairStats};
 pub use similarity::{NodeType, ScratchPool};
 pub use vote::{ClusterMonitor, EdgeBits, VoteCache};

@@ -1,0 +1,39 @@
+//! # anc-server
+//!
+//! The concurrent serving layer over the activation-network clustering
+//! engine (ROADMAP item 2; DESIGN.md §14): the paper's premise is that
+//! clustering queries are answered *while* the activation stream mutates
+//! the network, and this crate turns that premise into a single-writer /
+//! many-reader server.
+//!
+//! * [`service`] — the protocol-agnostic core: one writer thread owns the
+//!   engine (volatile or WAL-backed), drains a bounded MPSC ingest queue
+//!   with adaptive batch coalescing, and publishes an immutable
+//!   [`ServeSnapshot`] after every drained cycle.
+//! * [`snapshot`] — the published state and the wait-free
+//!   [`SnapshotReader`] (epoch'd `Arc` handoff via
+//!   `anc_core::publish`; the read path takes no locks — audit rule A11).
+//! * [`wire`] — a hand-rolled length-prefixed binary protocol
+//!   (`len ∥ payload ∥ crc32`), total decode, typed error frames.
+//! * [`tcp`] — the TCP front end (thread per connection) plus a blocking
+//!   [`WireClient`].
+//! * [`hist`] — the log-bucketed latency histogram shared with the
+//!   closed-loop load generator in `anc-bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod service;
+pub mod snapshot;
+pub mod tcp;
+pub mod wire;
+
+pub use hist::LatencyHistogram;
+pub use service::{
+    EngineBackend, IngestError, IngestHandle, ServeConfig, ServeError, ServerCore, ServerStats,
+    ShutdownReport,
+};
+pub use snapshot::{ServeSnapshot, SnapshotReader};
+pub use tcp::{ClientError, ConnState, TcpServer, WireClient};
+pub use wire::{ErrorCode, FrameError, Request, Response, StatsReply, MAX_FRAME};

@@ -1,0 +1,511 @@
+//! The protocol-agnostic serving core: single-writer ingest with adaptive
+//! coalescing, wait-free epoch'd snapshot publication, backpressure.
+//!
+//! Architecture (DESIGN.md §14): one writer thread owns the engine
+//! ([`EngineBackend`] — plain [`AncEngine`] or WAL-backed
+//! [`DurableEngine`]) and drains a bounded MPSC ingest queue. Per drain
+//! cycle it takes everything queued (up to [`ServeConfig::coalesce_max`]
+//! jobs, so the applied batch grows with queue depth), merges consecutive
+//! same-timestamp jobs into single [`AncEngine::activate_batch`] calls,
+//! picks Exact vs Fused batch mode by the
+//! [`ServeConfig::fused_min_batch`] policy, refreshes the cluster cache
+//! once, and publishes one immutable [`ServeSnapshot`]. Readers never see
+//! the engine — they answer from snapshots via [`SnapshotReader`], so the
+//! query path is wait-free (audit rule A11).
+//!
+//! Backpressure is reject/shed: [`IngestHandle::submit`] is `try_send` on
+//! the bounded queue and returns [`IngestError::Overloaded`] when full —
+//! nothing in the serving layer ever blocks a client thread on the
+//! writer. Enqueue-to-apply latency is recorded per job into a
+//! log-bucketed [`LatencyHistogram`] published with every snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::Instant;
+
+use anc_core::publish::Publisher;
+use anc_core::{AncEngine, BatchMode, BatchStats, ClusterMode, DurableEngine, RestoreError};
+use anc_graph::EdgeId;
+
+use crate::hist::LatencyHistogram;
+use crate::snapshot::{ServeSnapshot, SnapshotReader};
+
+/// The engine the writer thread owns: volatile, or WAL-backed durable.
+pub enum EngineBackend {
+    /// In-memory only; lost on shutdown unless the caller persists the
+    /// engine returned by [`ShutdownReport::backend`].
+    Volatile(AncEngine),
+    /// Every applied batch is write-ahead logged; shutdown compacts the
+    /// log into a fresh base snapshot.
+    Durable(DurableEngine),
+}
+
+impl EngineBackend {
+    /// Read access to the wrapped engine.
+    pub fn engine(&self) -> &AncEngine {
+        match self {
+            EngineBackend::Volatile(e) => e,
+            EngineBackend::Durable(d) => d.engine(),
+        }
+    }
+}
+
+/// Writer-loop and queue configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bound of the ingest queue; a full queue sheds submissions with
+    /// [`IngestError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Maximum ingest jobs drained (coalesced) per cycle. The actual batch
+    /// adapts to load: an idle server applies single-job batches, a backed
+    /// up queue drains up to this many jobs into one apply+publish cycle.
+    pub coalesce_max: usize,
+    /// Exact-vs-Fused policy: a coalesced same-timestamp run of at least
+    /// this many edges is applied with [`BatchMode::Fused`], smaller runs
+    /// with [`BatchMode::Exact`]. `None` keeps the engine's configured
+    /// mode for every batch. Must be `None` for a durable backend: WAL
+    /// records do not carry the batch mode, so an adaptive flip would
+    /// change what replay reconstructs.
+    pub fused_min_batch: Option<usize>,
+    /// Granularity levels refreshed and published with every snapshot;
+    /// empty selects the engine's default level.
+    pub levels: Vec<usize>,
+    /// Cluster modes published per level; empty selects
+    /// [`ClusterMode::Even`].
+    pub modes: Vec<ClusterMode>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 1024,
+            coalesce_max: 256,
+            fused_min_batch: None,
+            levels: Vec::new(),
+            modes: Vec::new(),
+        }
+    }
+}
+
+/// Rejected construction of a [`ServerCore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// `fused_min_batch` with a durable backend: the WAL does not record
+    /// per-batch modes, so adaptive switching would break replay.
+    FusedWithDurable,
+    /// A configured publish level is out of range for the engine.
+    LevelOutOfRange {
+        /// The offending level.
+        level: usize,
+        /// The engine's level count.
+        num_levels: usize,
+    },
+    /// Zero queue capacity or zero coalesce_max.
+    EmptyConfig,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::FusedWithDurable => write!(
+                f,
+                "fused_min_batch requires a volatile backend (WAL replay cannot \
+                 reconstruct adaptive mode flips)"
+            ),
+            ServeError::LevelOutOfRange { level, num_levels } => {
+                write!(f, "publish level {level} out of range (engine has {num_levels})")
+            }
+            ServeError::EmptyConfig => {
+                write!(f, "queue_capacity and coalesce_max must be nonzero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestError {
+    /// Queue full — the request was shed (backpressure). The burnt
+    /// sequence number leaves a gap; gaps carry no meaning.
+    Overloaded,
+    /// The writer has exited (shutdown or WAL failure).
+    Closed,
+    /// Non-finite timestamp (the decay clock requires finite time).
+    InvalidTime,
+    /// An edge id at or past the network's edge count.
+    EdgeOutOfRange,
+}
+
+/// One queued unit of work for the writer thread.
+enum Job {
+    Ingest { seq: u64, t: f64, edges: Vec<EdgeId>, enqueued: Instant },
+    Flush { done: SyncSender<u64> },
+    Stop,
+}
+
+/// Cloneable client-side handle for submitting activations.
+pub struct IngestHandle {
+    tx: SyncSender<Job>,
+    seq: Arc<AtomicU64>,
+    shed: Arc<AtomicU64>,
+    num_edges: u32,
+}
+
+impl Clone for IngestHandle {
+    fn clone(&self) -> Self {
+        Self {
+            tx: self.tx.clone(),
+            seq: Arc::clone(&self.seq),
+            shed: Arc::clone(&self.shed),
+            num_edges: self.num_edges,
+        }
+    }
+}
+
+impl IngestHandle {
+    /// Submits an activation batch (edges activated at time `t`) and
+    /// returns its sequence number. Never blocks: a full queue sheds the
+    /// request with [`IngestError::Overloaded`] (the drawn sequence number
+    /// is burnt — sequence gaps are meaningless). Inputs are validated
+    /// here so the writer thread can never panic on a bad request.
+    pub fn submit(&self, t: f64, edges: Vec<EdgeId>) -> Result<u64, IngestError> {
+        if !t.is_finite() {
+            return Err(IngestError::InvalidTime);
+        }
+        if edges.iter().any(|&e| e >= self.num_edges) {
+            return Err(IngestError::EdgeOutOfRange);
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        match self.tx.try_send(Job::Ingest { seq, t, edges, enqueued: Instant::now() }) {
+            Ok(()) => Ok(seq),
+            Err(TrySendError::Full(_)) => {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                Err(IngestError::Overloaded)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(IngestError::Closed),
+        }
+    }
+
+    /// Queue-barrier: waits until every job enqueued before this call is
+    /// applied and published, and returns the epoch of that publication.
+    /// Blocking (rides the FIFO queue) — not part of the wait-free read
+    /// path; readers that only need fresh data use
+    /// [`SnapshotReader::snapshot`] instead.
+    pub fn flush(&self) -> Result<u64, IngestError> {
+        let (done, rx) = mpsc::sync_channel(1);
+        match self.tx.try_send(Job::Flush { done }) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => return Err(IngestError::Overloaded),
+            Err(TrySendError::Disconnected(_)) => return Err(IngestError::Closed),
+        }
+        rx.recv().map_err(|_| IngestError::Closed)
+    }
+
+    /// Submissions shed so far because the queue was full.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+}
+
+/// Cumulative writer-side counters, published inside every snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct ServerStats {
+    /// Ingest jobs applied to the engine.
+    pub ingested_jobs: u64,
+    /// Total edges across applied jobs.
+    pub ingested_edges: u64,
+    /// `activate_batch` calls issued (post-coalescing).
+    pub applied_batches: u64,
+    /// Jobs that were merged into a batch with at least one other job
+    /// (`ingested_jobs - applied_batches` when every run coalesces).
+    pub coalesced_jobs: u64,
+    /// Largest single applied batch, in edges.
+    pub max_batch_edges: u64,
+    /// Batches applied in [`BatchMode::Exact`].
+    pub exact_batches: u64,
+    /// Batches applied in [`BatchMode::Fused`].
+    pub fused_batches: u64,
+    /// Submissions shed by backpressure (sampled at publish).
+    pub shed: u64,
+    /// Publications (equals the snapshot's epoch).
+    pub publishes: u64,
+    /// Merged engine-side batch work counters.
+    pub batch: BatchStats,
+    /// Merged cache refresh stats; `query.hits`/`query.misses` are the
+    /// cache-lifetime cumulative counters.
+    pub query: anc_core::QueryStats,
+    /// Enqueue-to-apply latency per ingest job, nanoseconds.
+    pub apply_latency: LatencyHistogram,
+}
+
+/// Everything handed back by [`ServerCore::shutdown`].
+pub struct ShutdownReport {
+    /// The engine, final state included — reusable (e.g. persist it, or
+    /// diff it against a serial replay in tests).
+    pub backend: EngineBackend,
+    /// Final cumulative counters.
+    pub stats: ServerStats,
+    /// Epoch of the last published snapshot.
+    pub final_epoch: u64,
+    /// A WAL write/compact failure that stopped the writer early, if any.
+    pub wal_error: Option<RestoreError>,
+}
+
+/// The running serving core: writer thread + ingest queue + publication
+/// chain. Protocol-agnostic — the TCP front end ([`crate::tcp`]) and
+/// in-process tests both drive it through [`IngestHandle`] and
+/// [`SnapshotReader`].
+pub struct ServerCore {
+    ingest: IngestHandle,
+    reader_seed: SnapshotReader,
+    writer: Option<std::thread::JoinHandle<ShutdownReport>>,
+}
+
+impl ServerCore {
+    /// Validates `cfg`, publishes the initial snapshot (epoch 0), and
+    /// starts the writer thread.
+    pub fn start(backend: EngineBackend, cfg: ServeConfig) -> Result<Self, ServeError> {
+        if cfg.queue_capacity == 0 || cfg.coalesce_max == 0 {
+            return Err(ServeError::EmptyConfig);
+        }
+        if matches!(backend, EngineBackend::Durable(_)) && cfg.fused_min_batch.is_some() {
+            return Err(ServeError::FusedWithDurable);
+        }
+        let engine = backend.engine();
+        let num_levels = engine.num_levels();
+        let levels =
+            if cfg.levels.is_empty() { vec![engine.default_level()] } else { cfg.levels.clone() };
+        if let Some(&level) = levels.iter().find(|&&l| l >= num_levels) {
+            return Err(ServeError::LevelOutOfRange { level, num_levels });
+        }
+        let modes = if cfg.modes.is_empty() { vec![ClusterMode::Even] } else { cfg.modes.clone() };
+
+        let mut stats = ServerStats::default();
+        let view = engine.refresh_view(&levels, &modes);
+        stats.query += view.query;
+        let initial = ServeSnapshot {
+            epoch: 0,
+            applied_seq: 0,
+            n: engine.graph().n(),
+            num_levels,
+            default_level: engine.default_level(),
+            view,
+            stats: stats.clone(),
+        };
+        let num_edges = engine.graph().m() as u32;
+
+        let publisher = Publisher::new(initial);
+        let reader_seed = SnapshotReader::new(publisher.subscribe());
+        let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity);
+        let shed = Arc::new(AtomicU64::new(0));
+        let ingest = IngestHandle {
+            tx,
+            seq: Arc::new(AtomicU64::new(0)),
+            shed: Arc::clone(&shed),
+            num_edges,
+        };
+        let writer = std::thread::Builder::new()
+            .name("anc-serve-writer".into())
+            .spawn(move || writer_loop(backend, publisher, rx, cfg, levels, modes, shed, stats))
+            .expect("spawn writer thread");
+        Ok(Self { ingest, reader_seed, writer: Some(writer) })
+    }
+
+    /// A cloneable submission handle.
+    pub fn ingest_handle(&self) -> IngestHandle {
+        self.ingest.clone()
+    }
+
+    /// A fresh wait-free reader cursor.
+    pub fn reader(&self) -> SnapshotReader {
+        self.reader_seed.clone()
+    }
+
+    /// Graceful shutdown: queues a stop marker behind all pending ingest
+    /// (FIFO — everything already queued is applied and published first),
+    /// compacts the WAL for a durable backend, joins the writer, and
+    /// returns the final state.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        // A full queue or an already-dead writer both resolve at join.
+        let _ = self.ingest.tx.send(Job::Stop);
+        self.writer.take().expect("shutdown called once").join().expect("writer thread panicked")
+    }
+}
+
+/// Applies one coalesced same-timestamp run and accounts for it.
+#[allow(clippy::too_many_arguments)]
+fn apply_run(
+    backend: &mut EngineBackend,
+    fused_min_batch: Option<usize>,
+    stats: &mut ServerStats,
+    t: f64,
+    edges: &[EdgeId],
+    job_meta: &[(u64, Instant)],
+    applied_seq: &mut u64,
+    wal_error: &mut Option<RestoreError>,
+) {
+    if edges.is_empty() || wal_error.is_some() {
+        return;
+    }
+    let bs = match backend {
+        EngineBackend::Volatile(engine) => {
+            if let Some(threshold) = fused_min_batch {
+                let mode =
+                    if edges.len() >= threshold { BatchMode::Fused } else { BatchMode::Exact };
+                engine.set_batch_mode(mode);
+            }
+            engine.activate_batch(edges, t)
+        }
+        EngineBackend::Durable(durable) => match durable.activate_batch(edges, t) {
+            Ok(bs) => bs,
+            Err(e) => {
+                *wal_error = Some(e);
+                return;
+            }
+        },
+    };
+    match backend.engine().config().batch {
+        BatchMode::Exact => stats.exact_batches += 1,
+        BatchMode::Fused => stats.fused_batches += 1,
+    }
+    stats.batch += bs;
+    stats.applied_batches += 1;
+    stats.ingested_jobs += job_meta.len() as u64;
+    stats.ingested_edges += edges.len() as u64;
+    if job_meta.len() > 1 {
+        stats.coalesced_jobs += job_meta.len() as u64;
+    }
+    stats.max_batch_edges = stats.max_batch_edges.max(edges.len() as u64);
+    // audit:allow(nondet-taint) -- latency observability only; never feeds clustering state or the WAL payload
+    let now = Instant::now();
+    for &(seq, enqueued) in job_meta {
+        let nanos = now.duration_since(enqueued).as_nanos().min(u128::from(u64::MAX)) as u64;
+        stats.apply_latency.record(nanos);
+        *applied_seq = (*applied_seq).max(seq);
+    }
+}
+
+/// The single-writer loop: drain → coalesce → apply → refresh → publish.
+#[allow(clippy::too_many_arguments)]
+fn writer_loop(
+    mut backend: EngineBackend,
+    mut publisher: Publisher<ServeSnapshot>,
+    rx: Receiver<Job>,
+    cfg: ServeConfig,
+    levels: Vec<usize>,
+    modes: Vec<ClusterMode>,
+    shed: Arc<AtomicU64>,
+    mut stats: ServerStats,
+) -> ShutdownReport {
+    let n = backend.engine().graph().n();
+    let num_levels = backend.engine().num_levels();
+    let default_level = backend.engine().default_level();
+    let mut applied_seq = 0u64;
+    let mut wal_error: Option<RestoreError> = None;
+    let mut stop = false;
+
+    'serve: while !stop {
+        // Block for the first job, then opportunistically drain what is
+        // already queued — the coalesced cycle grows with queue depth.
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => break 'serve, // every handle dropped without Stop
+        };
+        let mut jobs = vec![first];
+        while jobs.len() < cfg.coalesce_max {
+            match rx.try_recv() {
+                Ok(job) => jobs.push(job),
+                Err(_) => break,
+            }
+        }
+
+        let mut flushes: Vec<SyncSender<u64>> = Vec::new();
+        let mut run_t = 0.0f64;
+        let mut run_edges: Vec<EdgeId> = Vec::new();
+        let mut run_meta: Vec<(u64, Instant)> = Vec::new();
+        for job in jobs {
+            match job {
+                Job::Ingest { seq, t, edges, enqueued } => {
+                    // Runs merge consecutive same-timestamp jobs; a new
+                    // timestamp closes the run (activations at distinct
+                    // times cannot share one activate_batch call).
+                    if !run_meta.is_empty() && t != run_t {
+                        apply_run(
+                            &mut backend,
+                            cfg.fused_min_batch,
+                            &mut stats,
+                            run_t,
+                            &run_edges,
+                            &run_meta,
+                            &mut applied_seq,
+                            &mut wal_error,
+                        );
+                        run_edges.clear();
+                        run_meta.clear();
+                    }
+                    run_t = t;
+                    run_edges.extend_from_slice(&edges);
+                    run_meta.push((seq, enqueued));
+                }
+                Job::Flush { done } => flushes.push(done),
+                Job::Stop => {
+                    stop = true;
+                    break;
+                }
+            }
+        }
+        apply_run(
+            &mut backend,
+            cfg.fused_min_batch,
+            &mut stats,
+            run_t,
+            &run_edges,
+            &run_meta,
+            &mut applied_seq,
+            &mut wal_error,
+        );
+
+        #[cfg(feature = "debug-invariants")]
+        if let Err(violation) = backend.engine().check_invariants() {
+            panic!("serving invariant violation after apply: {violation:?}");
+        }
+
+        let view = backend.engine().refresh_view(&levels, &modes);
+        stats.query += view.query;
+        stats.shed = shed.load(Ordering::Relaxed);
+        stats.publishes += 1;
+        let epoch = publisher.epoch() + 1;
+        let snapshot = ServeSnapshot {
+            epoch,
+            applied_seq,
+            n,
+            num_levels,
+            default_level,
+            view,
+            stats: stats.clone(),
+        };
+        publisher.publish(snapshot);
+        for done in flushes {
+            // A departed flusher is not an error.
+            let _ = done.send(epoch);
+        }
+        if wal_error.is_some() {
+            // Durability broken: stop serving rather than silently
+            // diverging from the log.
+            break 'serve;
+        }
+    }
+
+    if let EngineBackend::Durable(durable) = &mut backend {
+        if wal_error.is_none() {
+            // Fold the log into a fresh base snapshot so restart recovery
+            // is snapshot-only.
+            wal_error = durable.compact().err();
+        }
+    }
+    stats.shed = shed.load(Ordering::Relaxed);
+    ShutdownReport { backend, stats, final_epoch: publisher.epoch(), wal_error }
+}
